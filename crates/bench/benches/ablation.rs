@@ -1,0 +1,5 @@
+//! `cargo bench --bench ablation`
+fn main() {
+    let tables = exacoll_bench::ablation::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("ablation", &tables);
+}

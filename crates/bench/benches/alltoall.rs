@@ -1,0 +1,5 @@
+//! `cargo bench --bench alltoall` — extension: generalized Bruck alltoall.
+fn main() {
+    let tables = exacoll_bench::alltoall_ext::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("alltoall", &tables);
+}

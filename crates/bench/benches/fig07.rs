@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig07` — regenerates this artifact's tables.
+fn main() {
+    let tables = exacoll_bench::fig07::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig07", &tables);
+}

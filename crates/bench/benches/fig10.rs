@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig10` — regenerates this artifact's tables.
+fn main() {
+    let tables = exacoll_bench::fig10::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig10", &tables);
+}

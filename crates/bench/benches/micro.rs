@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the library implementation itself:
+//! reduction kernels, tree construction, trace recording, and simulator
+//! replay throughput. These measure *this library's* wall-clock costs
+//! (the figure benches measure simulated virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use exacoll_comm::{reduce_into, DType, ReduceOp};
+use exacoll_core::topo::KnomialTree;
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_osu::measure::record_collective;
+use exacoll_sim::{simulate, Machine};
+use std::hint::black_box;
+
+fn bench_reduce_into(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce_into");
+    for n in [1024usize, 64 * 1024, 1 << 20] {
+        g.throughput(Throughput::Bytes(n as u64));
+        g.bench_with_input(BenchmarkId::new("f64_sum", n), &n, |b, &n| {
+            let mut acc = vec![1u8; n];
+            let src = vec![2u8; n];
+            b.iter(|| reduce_into(DType::F64, ReduceOp::Sum, black_box(&mut acc), &src).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("i32_max", n), &n, |b, &n| {
+            let mut acc = vec![1u8; n];
+            let src = vec![2u8; n];
+            b.iter(|| reduce_into(DType::I32, ReduceOp::Max, black_box(&mut acc), &src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knomial_tree");
+    for (p, k) in [(1024usize, 2usize), (1024, 8), (16384, 16)] {
+        g.bench_with_input(
+            BenchmarkId::new("children_all_ranks", format!("p{p}_k{k}")),
+            &(p, k),
+            |b, &(p, k)| {
+                let t = KnomialTree::new(p, k);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for v in 0..p {
+                        total += t.children(black_box(v)).len();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_record");
+    g.bench_function("allreduce_recmult_k4_p128_8B", |b| {
+        b.iter(|| {
+            record_collective(
+                128,
+                CollectiveOp::Allreduce,
+                Algorithm::RecursiveMultiplying { k: 4 },
+                8,
+                0,
+            )
+        });
+    });
+    g.bench_function("bcast_knomial_k8_p1024_8B", |b| {
+        b.iter(|| {
+            record_collective(1024, CollectiveOp::Bcast, Algorithm::KnomialTree { k: 8 }, 8, 0)
+        });
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_replay");
+    let m = Machine::frontier(128, 1);
+    let traces = record_collective(
+        128,
+        CollectiveOp::Allgather,
+        Algorithm::Ring,
+        1024,
+        0,
+    );
+    let events = simulate(&m, &traces).unwrap().stats.events;
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("ring_allgather_p128", |b| {
+        b.iter(|| simulate(black_box(&m), black_box(&traces)).unwrap().makespan);
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_reduce_into,
+        bench_tree_construction,
+        bench_trace_recording,
+        bench_replay
+}
+criterion_main!(benches);

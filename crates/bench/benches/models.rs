@@ -1,0 +1,5 @@
+//! `cargo bench --bench models` — analytical models vs simulator.
+fn main() {
+    let tables = exacoll_bench::modelcmp::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("models", &tables);
+}

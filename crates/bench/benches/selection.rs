@@ -1,0 +1,5 @@
+//! `cargo bench --bench selection` — regenerates this artifact's tables.
+fn main() {
+    let tables = exacoll_bench::selection::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("selection", &tables);
+}

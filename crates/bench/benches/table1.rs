@@ -1,0 +1,5 @@
+//! `cargo bench --bench table1` — regenerates this artifact's tables.
+fn main() {
+    let tables = exacoll_bench::table1::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("table1", &tables);
+}

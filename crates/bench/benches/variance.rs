@@ -1,0 +1,5 @@
+//! `cargo bench --bench variance`
+fn main() {
+    let tables = exacoll_bench::variance::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("variance", &tables);
+}

@@ -1,0 +1,63 @@
+//! Extension bench: radix-generalized Bruck alltoall (the §VII Fan et al.
+//! direction, built with the same radix-knob philosophy as the paper's
+//! kernels).
+//!
+//! Rows sweep the Bruck radix plus the pairwise and spread-out baselines;
+//! columns are per-destination block sizes. Expected shape: classic Bruck
+//! (r=2) owns tiny blocks, pairwise owns large blocks, and intermediate
+//! radixes win in between — a latency/bandwidth dial, exactly like k.
+
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::{latency, Machine, Table};
+use exacoll_sim::SimTime;
+
+/// The radix-sweep panel.
+pub fn panel(machine: &Machine, sizes: &[usize]) -> Table {
+    let p = machine.ranks();
+    let mut algs: Vec<(String, Algorithm)> = vec![
+        ("pairwise".into(), Algorithm::Pairwise),
+        ("spread".into(), Algorithm::Linear),
+    ];
+    for r in [2usize, 3, 4, 8, 16] {
+        if r <= p {
+            algs.push((format!("gbruck({r})"), Algorithm::GeneralizedBruck { r }));
+        }
+    }
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(sizes.iter().map(|&n| fmt_size(n)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("Extension: alltoall radix sweep, {} (us, * = best)", machine.name),
+        &header_refs,
+    );
+    let mut best = vec![(SimTime(f64::INFINITY), 0usize); sizes.len()];
+    let mut rows: Vec<(String, Vec<SimTime>)> = Vec::new();
+    for (ai, (name, alg)) in algs.iter().enumerate() {
+        let mut lat_row = Vec::with_capacity(sizes.len());
+        for (i, &n) in sizes.iter().enumerate() {
+            let lat = latency(machine, CollectiveOp::Alltoall, *alg, n).expect("simulates");
+            if lat < best[i].0 {
+                best[i] = (lat, ai);
+            }
+            lat_row.push(lat);
+        }
+        rows.push((name.clone(), lat_row));
+    }
+    for (ai, (name, lat_row)) in rows.into_iter().enumerate() {
+        let mut cells = vec![name];
+        for (i, lat) in lat_row.into_iter().enumerate() {
+            let star = if best[i].1 == ai { "*" } else { "" };
+            cells.push(format!("{:.1}{}", lat.as_micros(), star));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Run the extension panel.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 16 } else { 64 };
+    let m = Machine::frontier(nodes, 1);
+    vec![panel(&m, &[8, 512, 8192, 65536])]
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin ablation`
+fn main() {
+    let tables = exacoll_bench::ablation::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("ablation", &tables);
+}

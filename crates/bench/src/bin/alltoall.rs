@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin alltoall`
+fn main() {
+    let tables = exacoll_bench::alltoall_ext::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("alltoall", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin fig07`
+fn main() {
+    let tables = exacoll_bench::fig07::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig07", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin fig08`
+fn main() {
+    let tables = exacoll_bench::fig08::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig08", &tables);
+}

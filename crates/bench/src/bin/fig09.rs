@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin fig09`
+fn main() {
+    let tables = exacoll_bench::fig09::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig09", &tables);
+}

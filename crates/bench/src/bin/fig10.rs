@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin fig10`
+fn main() {
+    let tables = exacoll_bench::fig10::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig10", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin fig11`
+fn main() {
+    let tables = exacoll_bench::fig11::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("fig11", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin models`
+fn main() {
+    let tables = exacoll_bench::modelcmp::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("models", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin selection`
+fn main() {
+    let tables = exacoll_bench::selection::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("selection", &tables);
+}

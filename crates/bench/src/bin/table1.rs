@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin table1`
+fn main() {
+    let tables = exacoll_bench::table1::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("table1", &tables);
+}

@@ -1,0 +1,126 @@
+//! Fig. 8: parameter value (k) vs latency, 128 nodes on Frontier.
+//!
+//! * (a) k-nomial `MPI_Reduce`, 1 PPN — message buffering dominates: the
+//!   optimal k for tiny messages is large (near p) and shrinks with size.
+//! * (b) recursive-multiplying `MPI_Allreduce`, 1 PPN — the NIC port count
+//!   dominates: k at/near 4 wins for all sizes.
+//! * (c) k-ring `MPI_Bcast`, 8 PPN — the intranode links dominate: k equal
+//!   to the processes-per-node (8) wins for large messages.
+
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::{latency, Machine, Table};
+use exacoll_sim::SimTime;
+
+/// Build one "k vs latency" panel: rows = k, columns = message sizes.
+pub fn k_sweep_panel(
+    title: &str,
+    machine: &Machine,
+    op: CollectiveOp,
+    alg_of_k: impl Fn(usize) -> Algorithm,
+    ks: &[usize],
+    sizes: &[usize],
+) -> Table {
+    let mut header: Vec<String> = vec!["k".into()];
+    header.extend(sizes.iter().map(|&n| fmt_size(n)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    let mut best: Vec<(SimTime, usize)> = vec![(SimTime(f64::INFINITY), 0); sizes.len()];
+    let mut cells_by_k: Vec<(usize, Vec<SimTime>)> = Vec::new();
+    for &k in ks {
+        let alg = alg_of_k(k);
+        if alg.supports(op, machine.ranks()).is_err() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(sizes.len());
+        for (i, &n) in sizes.iter().enumerate() {
+            let t = latency(machine, op, alg, n).expect("simulates");
+            if t < best[i].0 {
+                best[i] = (t, k);
+            }
+            row.push(t);
+        }
+        cells_by_k.push((k, row));
+    }
+    for (k, row) in &cells_by_k {
+        let mut cells = vec![k.to_string()];
+        for (i, t) in row.iter().enumerate() {
+            let marker = if best[i].1 == *k { "*" } else { "" };
+            cells.push(format!("{:.1}{}", t.as_micros(), marker));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Panel (a): k-nomial reduce.
+pub fn panel_a(nodes: usize) -> Table {
+    let m = Machine::frontier(nodes, 1);
+    let p = m.ranks();
+    let ks: Vec<usize> = [2usize, 3, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&k| k <= p)
+        .collect();
+    k_sweep_panel(
+        format!("Fig 8(a)  k-nomial MPI_Reduce, {nodes} nodes x 1 PPN, Frontier (us, * = best)")
+            .as_str(),
+        &m,
+        CollectiveOp::Reduce,
+        |k| Algorithm::KnomialTree { k },
+        &ks,
+        &[8, 1024, 65536, 1 << 20],
+    )
+}
+
+/// Panel (b): recursive-multiplying allreduce.
+pub fn panel_b(nodes: usize) -> Table {
+    let m = Machine::frontier(nodes, 1);
+    let p = m.ranks();
+    let ks: Vec<usize> = [2usize, 3, 4, 5, 6, 8, 12, 16, 32]
+        .into_iter()
+        .filter(|&k| k <= p)
+        .collect();
+    k_sweep_panel(
+        format!(
+            "Fig 8(b)  recursive-multiplying MPI_Allreduce, {nodes} nodes x 1 PPN, Frontier (us, * = best)"
+        )
+        .as_str(),
+        &m,
+        CollectiveOp::Allreduce,
+        |k| Algorithm::RecursiveMultiplying { k },
+        &ks,
+        &[8, 1024, 65536, 1 << 20],
+    )
+}
+
+/// Panel (c): k-ring bcast with 8 processes per node. `k = 1` is the
+/// classic ring baseline.
+pub fn panel_c(nodes: usize) -> Table {
+    let m = Machine::frontier(nodes, 8);
+    let p = m.ranks();
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&k| k <= p && p.is_multiple_of(k))
+        .collect();
+    k_sweep_panel(
+        format!("Fig 8(c)  k-ring MPI_Bcast, {nodes} nodes x 8 PPN, Frontier (us, * = best)")
+            .as_str(),
+        &m,
+        CollectiveOp::Bcast,
+        |k| {
+            if k == 1 {
+                Algorithm::Ring
+            } else {
+                Algorithm::KRing { k }
+            }
+        },
+        &ks,
+        &[1 << 20, 4 << 20, 16 << 20, 64 << 20],
+    )
+}
+
+/// All three panels.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 16 } else { 128 };
+    vec![panel_a(nodes), panel_b(nodes), panel_c(nodes)]
+}

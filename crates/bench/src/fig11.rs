@@ -1,0 +1,80 @@
+//! Fig. 11: the Fig. 8 panels repeated on Polaris (pre-exascale, ANL).
+//!
+//! Expected divergences from Frontier (§VI-E): k-nomial and recursive
+//! multiplying trends carry over (optimal k-nomial radix near p for tiny
+//! messages; optimal recursive-multiplying radix a small multiple of the
+//! two NIC ports), but the k-ring parameter has *minimal effect* because
+//! Polaris' fully-connected intranode fabric gives no latency advantage to
+//! node-sized ring groups.
+
+use crate::fig08::k_sweep_panel;
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_osu::{Machine, Table};
+
+/// Panel (a): k-nomial reduce, 1 PPN.
+pub fn panel_a(nodes: usize) -> Table {
+    let m = Machine::polaris(nodes, 1);
+    let p = m.ranks();
+    let ks: Vec<usize> = [2usize, 3, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&k| k <= p)
+        .collect();
+    k_sweep_panel(
+        &format!("Fig 11(a)  k-nomial MPI_Reduce, {nodes} nodes x 1 PPN, Polaris (us, * = best)"),
+        &m,
+        CollectiveOp::Reduce,
+        |k| Algorithm::KnomialTree { k },
+        &ks,
+        &[8, 1024, 65536, 1 << 20],
+    )
+}
+
+/// Panel (b): recursive-multiplying allreduce, 1 PPN.
+pub fn panel_b(nodes: usize) -> Table {
+    let m = Machine::polaris(nodes, 1);
+    let p = m.ranks();
+    let ks: Vec<usize> = [2usize, 3, 4, 5, 6, 8, 12, 16, 32]
+        .into_iter()
+        .filter(|&k| k <= p)
+        .collect();
+    k_sweep_panel(
+        &format!(
+            "Fig 11(b)  recursive-multiplying MPI_Allreduce, {nodes} nodes x 1 PPN, Polaris (us, * = best)"
+        ),
+        &m,
+        CollectiveOp::Allreduce,
+        |k| Algorithm::RecursiveMultiplying { k },
+        &ks,
+        &[8, 1024, 65536, 1 << 20],
+    )
+}
+
+/// Panel (c): k-ring bcast with 4 processes per node (one per A100).
+pub fn panel_c(nodes: usize) -> Table {
+    let m = Machine::polaris(nodes, 4);
+    let p = m.ranks();
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&k| k <= p && p.is_multiple_of(k))
+        .collect();
+    k_sweep_panel(
+        &format!("Fig 11(c)  k-ring MPI_Bcast, {nodes} nodes x 4 PPN, Polaris (us, * = best)"),
+        &m,
+        CollectiveOp::Bcast,
+        |k| {
+            if k == 1 {
+                Algorithm::Ring
+            } else {
+                Algorithm::KRing { k }
+            }
+        },
+        &ks,
+        &[1 << 20, 4 << 20, 16 << 20],
+    )
+}
+
+/// All three panels.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 16 } else { 128 };
+    vec![panel_a(nodes), panel_b(nodes), panel_c(nodes)]
+}

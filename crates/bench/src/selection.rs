@@ -1,0 +1,64 @@
+//! §VI-G: generate the machine's selection configuration by exhaustive
+//! sweep, print it, and quantify what the tuned selection buys over the
+//! vendor baseline.
+
+use exacoll_core::CollectiveOp;
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::{latency, Machine, Table, VendorPolicy};
+use exacoll_tuning::{autotune, AutotuneOptions, Selector};
+
+/// Autotune a machine and report the selection table + its speedups.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 8 } else { 32 };
+    let m = Machine::frontier(nodes, 1);
+    let opts = AutotuneOptions {
+        ops: CollectiveOp::EVALUATED.to_vec(),
+        sizes: (3..=20).step_by(2).map(|e| 1usize << e).collect(),
+        max_k: 16.min(m.ranks()),
+    };
+    let cfg = autotune(&m, &opts);
+    let sel = Selector::new(cfg.clone()).expect("autotuned config valid");
+
+    let mut rules = Table::new(
+        format!("Selection configuration (autotuned), {}", m.name),
+        &["collective", "size range", "algorithm"],
+    );
+    for r in &cfg.rules {
+        let op: CollectiveOp = r.op.into();
+        let alg: exacoll_core::Algorithm = r.alg.into();
+        let hi = r.max_size.map_or("inf".to_string(), fmt_size);
+        rules.row(vec![
+            op.to_string(),
+            format!("[{}, {})", fmt_size(r.min_size), hi),
+            alg.to_string(),
+        ]);
+    }
+
+    let mut gains = Table::new(
+        "Tuned selection vs vendor baseline",
+        &["collective", "size", "tuned alg", "speedup vs vendor"],
+    );
+    for op in CollectiveOp::EVALUATED {
+        for &n in &[8usize, 32 * 1024, 1 << 20] {
+            let tuned = sel.select(op, n);
+            let t_tuned = latency(&m, op, tuned, n).expect("tuned simulates");
+            let vendor = VendorPolicy::select(op, n, m.ranks());
+            let t_vendor = latency(&m, op, vendor, n).expect("vendor simulates");
+            gains.row(vec![
+                op.to_string(),
+                fmt_size(n),
+                tuned.to_string(),
+                format!("{:.2}x", t_vendor / t_tuned),
+            ]);
+        }
+    }
+
+    // Persist the config the way MPICH users would consume it.
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(
+            format!("results/selection_{}.json", m.name),
+            cfg.to_json(),
+        );
+    }
+    vec![rules, gains]
+}

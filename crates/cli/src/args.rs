@@ -1,0 +1,241 @@
+//! Minimal flag parsing (no external dependency needed for a `--key value`
+//! grammar).
+
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_sim::Machine;
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus the leading subcommand.
+#[derive(Debug)]
+pub struct Args {
+    /// The subcommand word.
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let command = argv
+            .first()
+            .ok_or_else(|| "missing subcommand".to_string())?
+            .clone();
+        let mut flags = HashMap::new();
+        let mut i = 1;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{}`", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required integer flag.
+    pub fn req_usize(&self, key: &str) -> Result<usize, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("--{key} must be an integer"))
+    }
+
+    /// An optional integer flag with a default.
+    pub fn opt_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer")),
+        }
+    }
+
+    /// The machine described by `--machine/--nodes/--ppn`.
+    pub fn machine(&self) -> Result<Machine, String> {
+        let name = self.req("machine")?;
+        let nodes = self.req_usize("nodes")?;
+        let ppn = self.opt_usize("ppn", 1)?;
+        parse_machine(name, nodes, ppn)
+    }
+
+    /// The collective named by `--op`.
+    pub fn op(&self) -> Result<CollectiveOp, String> {
+        parse_op(self.req("op")?)
+    }
+
+    /// Comma-separated `--sizes` (bytes), or the OSU ladder.
+    pub fn sizes(&self) -> Result<Vec<usize>, String> {
+        match self.opt("sizes") {
+            None => Ok(exacoll_osu::osu_sizes()),
+            Some(list) => list
+                .split(',')
+                .map(|s| {
+                    parse_size(s.trim()).ok_or_else(|| format!("bad size `{s}` in --sizes"))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parse a machine preset name.
+pub fn parse_machine(name: &str, nodes: usize, ppn: usize) -> Result<Machine, String> {
+    match name {
+        "frontier" => Ok(Machine::frontier(nodes, ppn)),
+        "polaris" => Ok(Machine::polaris(nodes, ppn)),
+        "aurora" => Ok(Machine::aurora(nodes, ppn)),
+        "testbed" => Ok(Machine::testbed(nodes, ppn, 2)),
+        other => Err(format!(
+            "unknown machine `{other}` (expected frontier|polaris|aurora|testbed)"
+        )),
+    }
+}
+
+/// Parse a collective name.
+pub fn parse_op(name: &str) -> Result<CollectiveOp, String> {
+    CollectiveOp::ALL
+        .into_iter()
+        .find(|op| op.to_string() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = CollectiveOp::ALL.iter().map(|o| o.to_string()).collect();
+            format!("unknown op `{name}` (expected one of {})", names.join("|"))
+        })
+}
+
+/// Parse an algorithm spec like `ring`, `knomial:8`, `kring:4`, `hier:8:4`.
+pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    let mut num = || -> Result<usize, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("`{spec}` needs a radix, e.g. `{head}:4`"))?
+            .parse()
+            .map_err(|_| format!("bad radix in `{spec}`"))
+    };
+    let alg = match head {
+        "linear" | "spread" => Algorithm::Linear,
+        "ring" => Algorithm::Ring,
+        "bruck" => Algorithm::Bruck,
+        "pairwise" => Algorithm::Pairwise,
+        "knomial" | "binomial" => {
+            if head == "binomial" {
+                Algorithm::KnomialTree { k: 2 }
+            } else {
+                Algorithm::KnomialTree { k: num()? }
+            }
+        }
+        "recmult" | "recdoubling" => {
+            if head == "recdoubling" {
+                Algorithm::RecursiveMultiplying { k: 2 }
+            } else {
+                Algorithm::RecursiveMultiplying { k: num()? }
+            }
+        }
+        "kring" => Algorithm::KRing { k: num()? },
+        "reduce+bcast" | "reducebcast" => Algorithm::ReduceBcast { k: num()? },
+        "dissemination" => Algorithm::Dissemination { k: num()? },
+        "gbruck" => Algorithm::GeneralizedBruck { r: num()? },
+        "hier" => {
+            let ppn = num()?;
+            let k = num()?;
+            Algorithm::Hierarchical { ppn, k }
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    Ok(alg)
+}
+
+/// Parse "8", "64K", "64KB", "4M", "4MB".
+pub fn parse_size(s: &str) -> Option<usize> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix("mb").or(lower.strip_suffix('m')) {
+        (d.to_string(), 1 << 20)
+    } else if let Some(d) = lower.strip_suffix("kb").or(lower.strip_suffix('k')) {
+        (d.to_string(), 1024)
+    } else if let Some(d) = lower.strip_suffix('b') {
+        (d.to_string(), 1)
+    } else {
+        (lower, 1)
+    };
+    digits.trim().parse::<usize>().ok().map(|v| v * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse(&argv("sweep --machine frontier --nodes 16 --op reduce")).unwrap();
+        assert_eq!(a.command, "sweep");
+        assert_eq!(a.req("machine").unwrap(), "frontier");
+        assert_eq!(a.req_usize("nodes").unwrap(), 16);
+        assert_eq!(a.opt_usize("ppn", 1).unwrap(), 1);
+        assert!(a.req("missing").is_err());
+        let m = a.machine().unwrap();
+        assert_eq!(m.ranks(), 16);
+        assert_eq!(a.op().unwrap(), CollectiveOp::Reduce);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&argv("")).is_err());
+        assert!(Args::parse(&argv("sweep nodes 16")).is_err());
+        assert!(Args::parse(&argv("sweep --nodes")).is_err());
+    }
+
+    #[test]
+    fn sizes_parse() {
+        assert_eq!(parse_size("8"), Some(8));
+        assert_eq!(parse_size("64K"), Some(65536));
+        assert_eq!(parse_size("64KB"), Some(65536));
+        assert_eq!(parse_size("4MB"), Some(4 << 20));
+        assert_eq!(parse_size("16b"), Some(16));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn algs_parse() {
+        assert_eq!(parse_alg("ring").unwrap(), Algorithm::Ring);
+        assert_eq!(
+            parse_alg("knomial:8").unwrap(),
+            Algorithm::KnomialTree { k: 8 }
+        );
+        assert_eq!(parse_alg("binomial").unwrap(), Algorithm::KnomialTree { k: 2 });
+        assert_eq!(parse_alg("kring:4").unwrap(), Algorithm::KRing { k: 4 });
+        assert_eq!(
+            parse_alg("hier:8:4").unwrap(),
+            Algorithm::Hierarchical { ppn: 8, k: 4 }
+        );
+        assert_eq!(
+            parse_alg("gbruck:3").unwrap(),
+            Algorithm::GeneralizedBruck { r: 3 }
+        );
+        assert!(parse_alg("knomial").is_err());
+        assert!(parse_alg("wat").is_err());
+    }
+
+    #[test]
+    fn machines_parse() {
+        assert!(parse_machine("frontier", 4, 2).is_ok());
+        assert!(parse_machine("aurora", 4, 1).is_ok());
+        assert!(parse_machine("summit", 4, 1).is_err());
+    }
+}

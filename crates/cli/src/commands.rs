@@ -1,0 +1,213 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_alg, Args};
+use exacoll_core::{registry::candidates, registry::table_i, CollectiveOp};
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::{latency, measure, Table, VendorPolicy};
+use exacoll_tuning::{autotune, AutotuneOptions};
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  exacoll sweep    --machine <name> --nodes N [--ppn P] --op <coll> [--sizes 8,64K,...] [--max-k K]
+  exacoll radix    --machine <name> --nodes N [--ppn P] --op <coll> --size BYTES [--max-k K]
+  exacoll time     --machine <name> --nodes N [--ppn P] --op <coll> --alg <alg[:k]> --size BYTES
+  exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
+  exacoll machines
+  exacoll table1
+
+machines: frontier | polaris | aurora | testbed
+ops:      bcast reduce gather allgather allreduce barrier alltoall reduce_scatter
+algs:     linear ring bruck pairwise binomial recdoubling knomial:K recmult:K
+          kring:K reduce+bcast:K dissemination:K gbruck:R hier:PPN:K";
+
+/// Dispatch `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "sweep" => sweep(&args),
+        "radix" => radix(&args),
+        "time" => time(&args),
+        "autotune" => run_autotune(&args),
+        "machines" => machines(),
+        "table1" => {
+            table1();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Best algorithm per message size, with vendor comparison.
+fn sweep(args: &Args) -> Result<(), String> {
+    let m = args.machine()?;
+    let op = args.op()?;
+    let sizes = args.sizes()?;
+    let max_k = args.opt_usize("max-k", 16)?;
+    let cands = candidates(op, m.ranks(), max_k);
+    let mut t = Table::new(
+        format!("{op} sweep on {}", m.name),
+        &["size", "best alg", "latency (us)", "vs vendor"],
+    );
+    for &n in &sizes {
+        let best = cands
+            .iter()
+            .map(|&alg| (alg, latency(&m, op, alg, n).expect("simulates")))
+            .min_by_key(|&(_, t)| t)
+            .ok_or("no candidate algorithms")?;
+        let vendor = VendorPolicy::select(op, n, m.ranks());
+        let tv = latency(&m, op, vendor, n).expect("vendor simulates");
+        t.row(vec![
+            fmt_size(n),
+            best.0.to_string(),
+            format!("{:.2}", best.1.as_micros()),
+            format!("{:.2}x", tv / best.1),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+/// Latency of every radix of the op's generalized kernels at one size.
+fn radix(args: &Args) -> Result<(), String> {
+    let m = args.machine()?;
+    let op = args.op()?;
+    let n = crate::args::parse_size(args.req("size")?)
+        .ok_or_else(|| "bad --size".to_string())?;
+    let max_k = args.opt_usize("max-k", 16)?;
+    let mut t = Table::new(
+        format!("{op} radix sweep at {} on {}", fmt_size(n), m.name),
+        &["algorithm", "latency (us)"],
+    );
+    for alg in candidates(op, m.ranks(), max_k) {
+        let lat = latency(&m, op, alg, n).expect("simulates");
+        t.row(vec![alg.to_string(), format!("{:.2}", lat.as_micros())]);
+    }
+    t.print();
+    Ok(())
+}
+
+/// Time one specific (op, algorithm, size) with full statistics.
+fn time(args: &Args) -> Result<(), String> {
+    let m = args.machine()?;
+    let op = args.op()?;
+    let alg = parse_alg(args.req("alg")?)?;
+    let n = crate::args::parse_size(args.req("size")?)
+        .ok_or_else(|| "bad --size".to_string())?;
+    alg.supports(op, m.ranks())?;
+    let out = measure(&m, op, alg, n, 0).map_err(|e| e.to_string())?;
+    println!("machine:   {}", m.name);
+    println!("op/alg:    {op} / {alg} @ {}", fmt_size(n));
+    println!("latency:   {}", out.makespan);
+    println!(
+        "traffic:   {} internode msgs ({} B), {} intranode msgs ({} B)",
+        out.stats.inter_messages,
+        out.stats.inter_bytes,
+        out.stats.intra_messages,
+        out.stats.intra_bytes
+    );
+    let worst = out
+        .breakdown
+        .iter()
+        .filter_map(|b| b.blocked_fraction())
+        .fold(0.0f64, f64::max);
+    println!("blocked:   worst rank spends {:.0}% waiting", worst * 100.0);
+    Ok(())
+}
+
+/// Autotune a machine and print/save the selection configuration.
+fn run_autotune(args: &Args) -> Result<(), String> {
+    let m = args.machine()?;
+    let opts = AutotuneOptions {
+        ops: CollectiveOp::EVALUATED.to_vec(),
+        sizes: (3..=20).step_by(2).map(|e| 1usize << e).collect(),
+        max_k: args.opt_usize("max-k", 16)?,
+    };
+    eprintln!("autotuning {} over {} sizes ...", m.name, opts.sizes.len());
+    let cfg = autotune(&m, &opts);
+    let json = cfg.to_json();
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("selection configuration written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// List the machine presets.
+fn machines() -> Result<(), String> {
+    let mut t = Table::new(
+        "simulated machine presets",
+        &["name", "ports/node", "inter alpha", "inter GB/s", "intra alpha", "topology"],
+    );
+    for m in [
+        exacoll_sim::Machine::frontier(128, 8),
+        exacoll_sim::Machine::polaris(128, 4),
+        exacoll_sim::Machine::aurora(128, 12),
+        exacoll_sim::Machine::testbed(8, 1, 2),
+    ] {
+        t.row(vec![
+            m.name.split('-').next().unwrap_or(&m.name).to_string(),
+            m.ports_per_node.to_string(),
+            format!("{:.1} us", m.inter.alpha_ns / 1000.0),
+            format!("{:.1}", 1.0 / m.inter.beta_ns_per_byte),
+            format!("{:.1} us", m.intra.alpha_ns / 1000.0),
+            format!("{:?}", m.topology),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+/// Print Table I.
+fn table1() {
+    let mut t = Table::new(
+        "Table I  generalized kernels",
+        &["base", "generalized", "collectives"],
+    );
+    for (base, general, ops) in table_i() {
+        let names: Vec<String> = ops.iter().map(|o| o.to_string()).collect();
+        t.row(vec![base.into(), general.into(), names.join(", ")]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: &str) -> Result<(), String> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn machines_and_table1_print() {
+        run("machines").unwrap();
+        run("table1").unwrap();
+    }
+
+    #[test]
+    fn time_command_runs() {
+        run("time --machine frontier --nodes 4 --ppn 2 --op allreduce --alg recmult:4 --size 64K")
+            .unwrap();
+    }
+
+    #[test]
+    fn radix_command_runs() {
+        run("radix --machine testbed --nodes 4 --op reduce --size 8 --max-k 4").unwrap();
+    }
+
+    #[test]
+    fn sweep_command_runs_with_explicit_sizes() {
+        run("sweep --machine frontier --nodes 4 --op bcast --sizes 8,1K --max-k 4").unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run("sweep --machine nope --nodes 4 --op bcast").is_err());
+        assert!(run("time --machine frontier --nodes 4 --op bcast --alg bruck --size 8").is_err());
+        assert!(run("wat").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Typed views over raw byte buffers.
+//!
+//! Collectives move `Vec<u8>` internally; tests and applications want typed
+//! element access. `TypedBuf` provides conversion helpers without unsafe
+//! transmutes (buffers cross thread boundaries, so we stay with explicit
+//! little-endian encoding, matching `reduce_ops`).
+
+use crate::types::DType;
+
+/// A byte buffer together with its element datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedBuf {
+    /// Element datatype.
+    pub dtype: DType,
+    /// Raw little-endian bytes, `count * dtype.size()` long.
+    pub bytes: Vec<u8>,
+}
+
+impl TypedBuf {
+    /// Create a zero-filled buffer of `count` elements.
+    pub fn zeros(dtype: DType, count: usize) -> Self {
+        TypedBuf {
+            dtype,
+            bytes: vec![0u8; count * dtype.size()],
+        }
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.bytes.len() / self.dtype.size()
+    }
+
+    /// Build from `f64` values (encodes per `dtype`, truncating integers).
+    ///
+    /// Used by tests and examples to fill buffers with patterned data that is
+    /// exactly representable in every datatype.
+    pub fn from_f64s(dtype: DType, vals: &[f64]) -> Self {
+        let mut bytes = Vec::with_capacity(vals.len() * dtype.size());
+        for &v in vals {
+            match dtype {
+                DType::U8 => bytes.push(v as u8),
+                DType::I32 => bytes.extend_from_slice(&(v as i32).to_le_bytes()),
+                DType::I64 => bytes.extend_from_slice(&(v as i64).to_le_bytes()),
+                DType::U64 => bytes.extend_from_slice(&(v as u64).to_le_bytes()),
+                DType::F32 => bytes.extend_from_slice(&(v as f32).to_le_bytes()),
+                DType::F64 => bytes.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        TypedBuf { dtype, bytes }
+    }
+
+    /// Decode every element to `f64` (lossless for the small integer values
+    /// tests use).
+    pub fn to_f64s(&self) -> Vec<f64> {
+        let n = self.dtype.size();
+        self.bytes
+            .chunks_exact(n)
+            .map(|c| match self.dtype {
+                DType::U8 => c[0] as f64,
+                DType::I32 => i32::from_le_bytes(c.try_into().unwrap()) as f64,
+                DType::I64 => i64::from_le_bytes(c.try_into().unwrap()) as f64,
+                DType::U64 => u64::from_le_bytes(c.try_into().unwrap()) as f64,
+                DType::F32 => f32::from_le_bytes(c.try_into().unwrap()) as f64,
+                DType::F64 => f64::from_le_bytes(c.try_into().unwrap()),
+            })
+            .collect()
+    }
+}
+
+/// Encode a `f64` slice as raw bytes.
+pub fn f64_bytes(vals: &[f64]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Decode raw bytes as `f64`s. Panics if the length is not a multiple of 8.
+pub fn bytes_f64(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "byte length must be a multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_size() {
+        let b = TypedBuf::zeros(DType::F64, 7);
+        assert_eq!(b.bytes.len(), 56);
+        assert_eq!(b.count(), 7);
+    }
+
+    #[test]
+    fn f64_roundtrip_every_dtype() {
+        let vals = [0.0, 1.0, 2.0, 3.0, 100.0];
+        for d in DType::ALL {
+            let b = TypedBuf::from_f64s(d, &vals);
+            assert_eq!(b.to_f64s(), vals, "roundtrip failed for {d}");
+        }
+    }
+
+    #[test]
+    fn raw_f64_helpers_roundtrip() {
+        let vals = vec![1.5, -2.25, 1e300];
+        assert_eq!(bytes_f64(&f64_bytes(&vals)), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bytes_f64_rejects_ragged() {
+        bytes_f64(&[0u8; 7]);
+    }
+}

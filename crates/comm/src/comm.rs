@@ -1,0 +1,89 @@
+//! The [`Comm`] trait: the MPI-like surface collective algorithms target.
+
+use crate::error::CommResult;
+use crate::types::{Rank, Tag};
+
+/// A non-blocking request handle, as returned by [`Comm::isend`] /
+/// [`Comm::irecv`]. Handles are consumed by `wait`/`waitall` exactly once.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Req(pub(crate) usize);
+
+impl Req {
+    /// The backend-internal handle index (used by trace replay).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The communication surface collective algorithms are written against.
+///
+/// This mirrors the MPI subset used by MPICH's collective implementations:
+/// non-blocking point-to-point with `(source, tag)` matching, combined
+/// completion via `waitall`, and a [`Comm::compute`] hook that accounts for
+/// local reduction work (so the trace/simulation backend can charge γ·bytes).
+///
+/// Matching follows MPI ordering semantics: messages between a given
+/// (sender, receiver, tag) triple are non-overtaking.
+pub trait Comm {
+    /// This process's rank, in `0..size`.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Post a non-blocking send of `data` to `to`.
+    fn isend(&mut self, to: Rank, tag: Tag, data: Vec<u8>) -> CommResult<Req>;
+
+    /// Post a non-blocking receive of exactly `bytes` bytes from `from`.
+    fn irecv(&mut self, from: Rank, tag: Tag, bytes: usize) -> CommResult<Req>;
+
+    /// Block until `req` completes. Returns the received payload for receive
+    /// requests, `None` for send requests.
+    fn wait(&mut self, req: Req) -> CommResult<Option<Vec<u8>>>;
+
+    /// Block until all of `reqs` complete, returning payloads in order.
+    ///
+    /// The default implementation waits sequentially; backends override it
+    /// when completion order matters for performance accounting.
+    fn waitall(&mut self, reqs: Vec<Req>) -> CommResult<Vec<Option<Vec<u8>>>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Account for `bytes` of local reduction computation (γ term in the
+    /// cost model). Backends that execute for real treat this as a no-op;
+    /// the trace backend records it.
+    fn compute(&mut self, bytes: usize);
+
+    /// Blocking send: post and wait.
+    fn send(&mut self, to: Rank, tag: Tag, data: Vec<u8>) -> CommResult<()> {
+        let r = self.isend(to, tag, data)?;
+        self.wait(r)?;
+        Ok(())
+    }
+
+    /// Blocking receive: post and wait, returning the payload.
+    fn recv(&mut self, from: Rank, tag: Tag, bytes: usize) -> CommResult<Vec<u8>> {
+        let r = self.irecv(from, tag, bytes)?;
+        Ok(self.wait(r)?.expect("recv request yields a payload"))
+    }
+
+    /// Simultaneous exchange: post both, wait both, return the received
+    /// payload. The workhorse of recursive doubling/multiplying and ring.
+    fn sendrecv(
+        &mut self,
+        to: Rank,
+        send_tag: Tag,
+        data: Vec<u8>,
+        from: Rank,
+        recv_tag: Tag,
+        recv_bytes: usize,
+    ) -> CommResult<Vec<u8>> {
+        let rs = self.isend(to, send_tag, data)?;
+        let rr = self.irecv(from, recv_tag, recv_bytes)?;
+        let mut out = self.waitall(vec![rs, rr])?;
+        Ok(out
+            .pop()
+            .expect("waitall returns one entry per request")
+            .expect("recv request yields a payload"))
+    }
+}

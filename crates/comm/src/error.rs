@@ -1,0 +1,120 @@
+//! Error types for the communication layer.
+
+use crate::types::{DType, Rank, ReduceOp, Tag};
+use std::fmt;
+
+/// Result alias for communication operations.
+pub type CommResult<T> = Result<T, CommError>;
+
+/// Errors raised by the communication backends.
+///
+/// The threaded runtime surfaces these instead of panicking so the test
+/// suite can exercise failure injection (truncation, invalid peers,
+/// mismatched reductions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive was posted with a buffer smaller than the arriving message,
+    /// the MPI "truncation" error.
+    Truncation {
+        /// Receiving rank.
+        rank: Rank,
+        /// Sending rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Bytes the receive was posted for.
+        posted: usize,
+        /// Bytes that actually arrived.
+        arrived: usize,
+    },
+    /// A rank outside `0..size` was named as a peer.
+    InvalidRank {
+        /// The offending rank value.
+        rank: Rank,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A wait referenced a request handle that does not exist or was already
+    /// completed.
+    UnknownRequest {
+        /// The stale handle index.
+        handle: usize,
+    },
+    /// The peer's mailbox disappeared (its thread panicked or exited early).
+    PeerGone {
+        /// The unreachable peer.
+        peer: Rank,
+    },
+    /// A reduction was attempted with an operator undefined for the datatype.
+    UnsupportedReduction {
+        /// The operator.
+        op: ReduceOp,
+        /// The datatype.
+        dtype: DType,
+    },
+    /// Buffer length is not a multiple of the element size.
+    MisalignedBuffer {
+        /// Buffer length in bytes.
+        len: usize,
+        /// Element datatype.
+        dtype: DType,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Truncation {
+                rank,
+                from,
+                tag,
+                posted,
+                arrived,
+            } => write!(
+                f,
+                "truncation on rank {rank}: recv from {from} tag {tag} posted {posted} B, {arrived} B arrived"
+            ),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            CommError::UnknownRequest { handle } => {
+                write!(f, "unknown or already-completed request handle {handle}")
+            }
+            CommError::PeerGone { peer } => write!(f, "peer rank {peer} is gone"),
+            CommError::UnsupportedReduction { op, dtype } => {
+                write!(f, "reduction {op} is undefined for datatype {dtype}")
+            }
+            CommError::MisalignedBuffer { len, dtype } => write!(
+                f,
+                "buffer of {len} B is not a whole number of {dtype} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = CommError::Truncation {
+            rank: 1,
+            from: 0,
+            tag: 7,
+            posted: 8,
+            arrived: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("truncation"));
+        assert!(s.contains("rank 1"));
+
+        let e = CommError::UnsupportedReduction {
+            op: ReduceOp::BXor,
+            dtype: DType::F64,
+        };
+        assert!(e.to_string().contains("bxor"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Typed elementwise reductions over raw byte buffers.
+//!
+//! Collective reduction algorithms (reduce, allreduce, reduce-scatter) move
+//! opaque byte buffers but must combine them elementwise according to a
+//! [`ReduceOp`] and [`DType`], exactly as MPICH's `MPIR_Reduce_local` does.
+//! Integer arithmetic wraps so that results are deterministic regardless of
+//! the order in which a tree or ring combines partial results.
+
+use crate::error::{CommError, CommResult};
+use crate::types::{DType, ReduceOp};
+
+macro_rules! reduce_typed {
+    ($acc:expr, $src:expr, $op:expr, $ty:ty, $from:ident, $to:ident, $wrap_sum:expr, $wrap_prod:expr) => {{
+        let n = std::mem::size_of::<$ty>();
+        for (a, s) in $acc.chunks_exact_mut(n).zip($src.chunks_exact(n)) {
+            let x = <$ty>::$from(a.try_into().unwrap());
+            let y = <$ty>::$from(s.try_into().unwrap());
+            let r: $ty = match $op {
+                ReduceOp::Sum => $wrap_sum(x, y),
+                ReduceOp::Prod => $wrap_prod(x, y),
+                ReduceOp::Max => if y > x { y } else { x },
+                ReduceOp::Min => if y < x { y } else { x },
+                _ => unreachable!("bitwise handled separately"),
+            };
+            a.copy_from_slice(&r.$to());
+        }
+    }};
+}
+
+macro_rules! reduce_bitwise {
+    ($acc:expr, $src:expr, $op:expr) => {{
+        for (a, s) in $acc.iter_mut().zip($src.iter()) {
+            *a = match $op {
+                ReduceOp::BAnd => *a & *s,
+                ReduceOp::BOr => *a | *s,
+                ReduceOp::BXor => *a ^ *s,
+                _ => unreachable!(),
+            };
+        }
+    }};
+}
+
+/// Combine `src` into `acc` elementwise: `acc[i] = op(acc[i], src[i])`.
+///
+/// Both buffers must have the same length and that length must be a whole
+/// number of `dtype` elements.
+///
+/// # Errors
+///
+/// * [`CommError::UnsupportedReduction`] for bitwise ops on floats.
+/// * [`CommError::MisalignedBuffer`] if lengths differ or are not a multiple
+///   of the element size.
+pub fn reduce_into(dtype: DType, op: ReduceOp, acc: &mut [u8], src: &[u8]) -> CommResult<()> {
+    if !op.supports(dtype) {
+        return Err(CommError::UnsupportedReduction { op, dtype });
+    }
+    if acc.len() != src.len() || !acc.len().is_multiple_of(dtype.size()) {
+        return Err(CommError::MisalignedBuffer {
+            len: if acc.len() != src.len() {
+                src.len()
+            } else {
+                acc.len()
+            },
+            dtype,
+        });
+    }
+    match op {
+        ReduceOp::BAnd | ReduceOp::BOr | ReduceOp::BXor => reduce_bitwise!(acc, src, op),
+        _ => match dtype {
+            DType::U8 => {
+                for (a, s) in acc.iter_mut().zip(src.iter()) {
+                    *a = match op {
+                        ReduceOp::Sum => a.wrapping_add(*s),
+                        ReduceOp::Prod => a.wrapping_mul(*s),
+                        ReduceOp::Max => (*a).max(*s),
+                        ReduceOp::Min => (*a).min(*s),
+                        _ => unreachable!(),
+                    };
+                }
+            }
+            DType::I32 => reduce_typed!(
+                acc,
+                src,
+                op,
+                i32,
+                from_le_bytes,
+                to_le_bytes,
+                i32::wrapping_add,
+                i32::wrapping_mul
+            ),
+            DType::I64 => reduce_typed!(
+                acc,
+                src,
+                op,
+                i64,
+                from_le_bytes,
+                to_le_bytes,
+                i64::wrapping_add,
+                i64::wrapping_mul
+            ),
+            DType::U64 => reduce_typed!(
+                acc,
+                src,
+                op,
+                u64,
+                from_le_bytes,
+                to_le_bytes,
+                u64::wrapping_add,
+                u64::wrapping_mul
+            ),
+            DType::F32 => reduce_typed!(
+                acc,
+                src,
+                op,
+                f32,
+                from_le_bytes,
+                to_le_bytes,
+                |x: f32, y: f32| x + y,
+                |x: f32, y: f32| x * y
+            ),
+            DType::F64 => reduce_typed!(
+                acc,
+                src,
+                op,
+                f64,
+                from_le_bytes,
+                to_le_bytes,
+                |x: f64, y: f64| x + y,
+                |x: f64, y: f64| x * y
+            ),
+        },
+    }
+    Ok(())
+}
+
+/// Sequentially reduce a set of buffers into one, in ascending index order.
+///
+/// This is the reference semantics the collective test-suite checks tree and
+/// ring reductions against.
+pub fn reduce_all(dtype: DType, op: ReduceOp, bufs: &[Vec<u8>]) -> CommResult<Vec<u8>> {
+    assert!(!bufs.is_empty(), "reduce_all needs at least one buffer");
+    let mut acc = bufs[0].clone();
+    for b in &bufs[1..] {
+        reduce_into(dtype, op, &mut acc, b)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i32s(v: &[i32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+    fn f64s(v: &[f64]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn sum_i32() {
+        let mut a = i32s(&[1, -2, 3]);
+        reduce_into(DType::I32, ReduceOp::Sum, &mut a, &i32s(&[10, 20, 30])).unwrap();
+        assert_eq!(a, i32s(&[11, 18, 33]));
+    }
+
+    #[test]
+    fn sum_wraps() {
+        let mut a = i32s(&[i32::MAX]);
+        reduce_into(DType::I32, ReduceOp::Sum, &mut a, &i32s(&[1])).unwrap();
+        assert_eq!(a, i32s(&[i32::MIN]));
+    }
+
+    #[test]
+    fn prod_max_min_f64() {
+        let mut a = f64s(&[2.0, -1.0, 5.0]);
+        reduce_into(DType::F64, ReduceOp::Prod, &mut a, &f64s(&[3.0, 4.0, 0.5])).unwrap();
+        assert_eq!(a, f64s(&[6.0, -4.0, 2.5]));
+
+        let mut a = f64s(&[2.0, -1.0]);
+        reduce_into(DType::F64, ReduceOp::Max, &mut a, &f64s(&[1.0, 7.0])).unwrap();
+        assert_eq!(a, f64s(&[2.0, 7.0]));
+
+        let mut a = f64s(&[2.0, -1.0]);
+        reduce_into(DType::F64, ReduceOp::Min, &mut a, &f64s(&[1.0, 7.0])).unwrap();
+        assert_eq!(a, f64s(&[1.0, -1.0]));
+    }
+
+    #[test]
+    fn bitwise_u8() {
+        let mut a = vec![0b1100u8];
+        reduce_into(DType::U8, ReduceOp::BAnd, &mut a, &[0b1010]).unwrap();
+        assert_eq!(a, vec![0b1000]);
+        let mut a = vec![0b1100u8];
+        reduce_into(DType::U8, ReduceOp::BOr, &mut a, &[0b1010]).unwrap();
+        assert_eq!(a, vec![0b1110]);
+        let mut a = vec![0b1100u8];
+        reduce_into(DType::U8, ReduceOp::BXor, &mut a, &[0b1010]).unwrap();
+        assert_eq!(a, vec![0b0110]);
+    }
+
+    #[test]
+    fn bitwise_on_float_is_error() {
+        let mut a = f64s(&[1.0]);
+        let e = reduce_into(DType::F64, ReduceOp::BXor, &mut a, &f64s(&[2.0])).unwrap_err();
+        assert!(matches!(e, CommError::UnsupportedReduction { .. }));
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let mut a = i32s(&[1, 2]);
+        let e = reduce_into(DType::I32, ReduceOp::Sum, &mut a, &i32s(&[1])).unwrap_err();
+        assert!(matches!(e, CommError::MisalignedBuffer { .. }));
+    }
+
+    #[test]
+    fn misaligned_is_error() {
+        let mut a = vec![0u8; 6];
+        let src = vec![0u8; 6];
+        let e = reduce_into(DType::I32, ReduceOp::Sum, &mut a, &src).unwrap_err();
+        assert!(matches!(e, CommError::MisalignedBuffer { len: 6, .. }));
+    }
+
+    #[test]
+    fn reduce_all_matches_sequential() {
+        let bufs: Vec<Vec<u8>> = (0..5).map(|r| i32s(&[r, r * 2, 100 - r])).collect();
+        let out = reduce_all(DType::I32, ReduceOp::Sum, &bufs).unwrap();
+        assert_eq!(out, i32s(&[0 + 1 + 2 + 3 + 4, 0 + 2 + 4 + 6 + 8, 500 - 10]));
+    }
+
+    #[test]
+    fn u64_prod_wraps() {
+        let mut a: Vec<u8> = u64::MAX.to_le_bytes().to_vec();
+        reduce_into(DType::U64, ReduceOp::Prod, &mut a, &2u64.to_le_bytes()).unwrap();
+        assert_eq!(a, (u64::MAX.wrapping_mul(2)).to_le_bytes().to_vec());
+    }
+}

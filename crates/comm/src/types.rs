@@ -1,0 +1,167 @@
+//! Fundamental communication types: ranks, tags, datatypes, reduction ops.
+
+use std::fmt;
+
+/// A process identifier within a communicator, `0..size`.
+pub type Rank = usize;
+
+/// A message tag. Collective implementations use distinct tags per phase so
+/// that overlapping phases cannot mis-match messages.
+pub type Tag = u32;
+
+/// Element datatype of a typed buffer, mirroring the MPI predefined types the
+/// paper's collectives are benchmarked with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 8-bit unsigned integer (`MPI_BYTE`/`MPI_UINT8_T`).
+    U8,
+    /// 32-bit signed integer (`MPI_INT`).
+    I32,
+    /// 64-bit signed integer (`MPI_INT64_T`).
+    I64,
+    /// 64-bit unsigned integer (`MPI_UINT64_T`).
+    U64,
+    /// 32-bit IEEE float (`MPI_FLOAT`).
+    F32,
+    /// 64-bit IEEE float (`MPI_DOUBLE`).
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::F32 => 4,
+            DType::I64 | DType::U64 | DType::F64 => 8,
+        }
+    }
+
+    /// All datatypes, for exhaustive testing.
+    pub const ALL: [DType; 6] = [
+        DType::U8,
+        DType::I32,
+        DType::I64,
+        DType::U64,
+        DType::F32,
+        DType::F64,
+    ];
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::U8 => "u8",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U64 => "u64",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reduction operator, mirroring MPI predefined reduction operations.
+///
+/// All operators here are associative and commutative, which is the
+/// precondition MPICH's tree/ring reductions assume when reordering
+/// reduction steps. Integer arithmetic is **wrapping** so results are
+/// deterministic across operand orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Elementwise sum (`MPI_SUM`).
+    Sum,
+    /// Elementwise product (`MPI_PROD`).
+    Prod,
+    /// Elementwise maximum (`MPI_MAX`).
+    Max,
+    /// Elementwise minimum (`MPI_MIN`).
+    Min,
+    /// Bitwise AND (`MPI_BAND`). Integer types only.
+    BAnd,
+    /// Bitwise OR (`MPI_BOR`). Integer types only.
+    BOr,
+    /// Bitwise XOR (`MPI_BXOR`). Integer types only.
+    BXor,
+}
+
+impl ReduceOp {
+    /// Whether this operator is defined for the given datatype
+    /// (bitwise ops are undefined for floating point, as in MPI).
+    pub fn supports(self, dtype: DType) -> bool {
+        match self {
+            ReduceOp::BAnd | ReduceOp::BOr | ReduceOp::BXor => {
+                !matches!(dtype, DType::F32 | DType::F64)
+            }
+            _ => true,
+        }
+    }
+
+    /// All operators, for exhaustive testing.
+    pub const ALL: [ReduceOp; 7] = [
+        ReduceOp::Sum,
+        ReduceOp::Prod,
+        ReduceOp::Max,
+        ReduceOp::Min,
+        ReduceOp::BAnd,
+        ReduceOp::BOr,
+        ReduceOp::BXor,
+    ];
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+            ReduceOp::BAnd => "band",
+            ReduceOp::BOr => "bor",
+            ReduceOp::BXor => "bxor",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::I64.size(), 8);
+        assert_eq!(DType::U64.size(), 8);
+        assert_eq!(DType::F64.size(), 8);
+    }
+
+    #[test]
+    fn bitwise_ops_reject_floats() {
+        for op in [ReduceOp::BAnd, ReduceOp::BOr, ReduceOp::BXor] {
+            assert!(!op.supports(DType::F32));
+            assert!(!op.supports(DType::F64));
+            assert!(op.supports(DType::I32));
+            assert!(op.supports(DType::U64));
+        }
+    }
+
+    #[test]
+    fn arithmetic_ops_support_all_dtypes() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min] {
+            for d in DType::ALL {
+                assert!(op.supports(d), "{op} should support {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrip_is_stable() {
+        assert_eq!(DType::F64.to_string(), "f64");
+        assert_eq!(ReduceOp::Sum.to_string(), "sum");
+    }
+}

@@ -1,0 +1,539 @@
+//! Allgather kernels — the workhorses of the paper.
+//!
+//! All kernels take a per-rank `sizes` vector (block `i` has `sizes[i]`
+//! bytes) so the same code serves plain allgather (uniform blocks) and the
+//! allgather phase of scatter-allgather broadcast (near-equal blocks with
+//! remainders). Output is always the concatenation of all blocks in rank
+//! order.
+//!
+//! * [`allgather_ring`] — classic neighbor ring (§V-A): `p-1` rounds, each
+//!   rank forwarding the block it received in the previous round.
+//! * [`allgather_kring`] — the generalized k-ring (§V-C, Fig. 6): `p/k`
+//!   groups of `k`; `g(k-1)` intra-group rounds interleaved with `g-1`
+//!   inter-group rounds, so most traffic stays on the fast intranode fabric
+//!   when `k` equals the processes-per-node.
+//! * [`allgather_recmult`] — recursive multiplying (§IV): one exchange round
+//!   per factor of `p` (each factor ≤ `k`); `k = 2` is recursive doubling
+//!   (Fig. 3), Fig. 4 is `p = 9, k = 3`. Non-`k`-smooth process counts fold
+//!   remainder ranks onto partners before the rounds and unfold after.
+//! * [`allgather_bruck`] — Bruck's algorithm (cited baseline), uniform
+//!   blocks only.
+//! * Gather + broadcast over k-nomial trees (Table I's k-nomial allgather)
+//!   via [`allgather_kernel`] with [`AllgatherKernel::GatherBcast`].
+
+use crate::allgather_kring_general::allgather_kring_general;
+use crate::bcast::bcast_knomial;
+use crate::gather::gather_knomial;
+use crate::tags;
+use crate::topo::{factorize, largest_smooth_leq};
+use crate::util::{pmod, prefix_offsets};
+use exacoll_comm::{Comm, CommResult, Req};
+
+/// Which allgather kernel to run (also selects the second phase of
+/// scatter-allgather broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllgatherKernel {
+    /// Classic neighbor ring.
+    Ring,
+    /// Generalized k-ring with group size `k` (`k = 1` degenerates to ring,
+    /// `k = p` to a single intra ring). When `k` divides `p` this is the
+    /// paper's exact Fig. 6 schedule; otherwise the non-uniform-group
+    /// variant runs (§VI-A's corner case).
+    KRing {
+        /// Group size.
+        k: usize,
+    },
+    /// Recursive multiplying with radix `k` (`k = 2` is recursive doubling).
+    RecursiveMultiplying {
+        /// Maximum factor per round.
+        k: usize,
+    },
+    /// Bruck's log-rounds algorithm (uniform block sizes only).
+    Bruck,
+    /// K-nomial gather to rank 0 followed by k-nomial broadcast
+    /// (uniform block sizes only).
+    GatherBcast {
+        /// Tree radix.
+        k: usize,
+    },
+}
+
+/// Run the chosen allgather kernel. `input` is this rank's block
+/// (`sizes[rank]` bytes); returns all blocks concatenated in rank order.
+pub fn allgather_kernel<C: Comm>(
+    c: &mut C,
+    kernel: AllgatherKernel,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    debug_assert_eq!(sizes.len(), c.size());
+    debug_assert_eq!(input.len(), sizes[c.rank()]);
+    match kernel {
+        AllgatherKernel::Ring => allgather_ring(c, input, sizes),
+        AllgatherKernel::KRing { k } if c.size().is_multiple_of(k) => {
+            allgather_kring(c, k, input, sizes)
+        }
+        AllgatherKernel::KRing { k } => allgather_kring_general(c, k, input, sizes),
+        AllgatherKernel::RecursiveMultiplying { k } => allgather_recmult(c, k, input, sizes),
+        AllgatherKernel::Bruck => allgather_bruck(c, input, sizes),
+        AllgatherKernel::GatherBcast { k } => {
+            let n = uniform_size(sizes).expect("gather+bcast needs uniform blocks");
+            let p = c.size();
+            let gathered = gather_knomial(c, k, 0, input)?;
+            bcast_knomial(c, k, 0, gathered.as_deref(), p * n)
+        }
+    }
+}
+
+fn uniform_size(sizes: &[usize]) -> Option<usize> {
+    let n = sizes[0];
+    sizes.iter().all(|&s| s == n).then_some(n)
+}
+
+/// Classic ring allgather, with this rank contributing block `rank`.
+pub fn allgather_ring<C: Comm>(c: &mut C, input: &[u8], sizes: &[usize]) -> CommResult<Vec<u8>> {
+    let me = c.rank();
+    allgather_ring_from(c, me, input, sizes)
+}
+
+/// Ring allgather where this rank *starts* owning block `own_idx` (a cyclic
+/// shift of the identity assignment). The allreduce path uses this with the
+/// block ownership the ring reduce-scatter leaves behind.
+pub fn allgather_ring_from<C: Comm>(
+    c: &mut C,
+    own_idx: usize,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let off = prefix_offsets(sizes);
+    let mut out = vec![0u8; off[p]];
+    out[off[own_idx]..off[own_idx] + input.len()].copy_from_slice(input);
+    if p == 1 {
+        return Ok(out);
+    }
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    for t in 0..p - 1 {
+        let send_idx = pmod(own_idx as isize - t as isize, p);
+        let recv_idx = pmod(own_idx as isize - t as isize - 1, p);
+        let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
+        let got = c.sendrecv(
+            right,
+            tags::ALLGATHER_RING,
+            data,
+            left,
+            tags::ALLGATHER_RING,
+            sizes[recv_idx],
+        )?;
+        out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+    }
+    Ok(out)
+}
+
+/// Generalized k-ring allgather (Fig. 6). Requires `k >= 1` and `k | p`.
+///
+/// Ranks are grouped contiguously (`group = rank / k`), matching the
+/// node-contiguous rank placement of `Machine`, so with `k` equal to the
+/// processes-per-node the intra rounds ride the intranode fabric.
+pub fn allgather_kring<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    assert!(k >= 1, "k-ring group size must be at least 1");
+    assert!(
+        p.is_multiple_of(k),
+        "k-ring requires the group size ({k}) to divide the process count ({p})"
+    );
+    let off = prefix_offsets(sizes);
+    let mut out = vec![0u8; off[p]];
+    out[off[me]..off[me] + input.len()].copy_from_slice(input);
+    if p == 1 {
+        return Ok(out);
+    }
+    let g = p / k; // number of groups
+    let grp = me / k;
+    let j = me % k;
+    let intra_right = grp * k + (j + 1) % k;
+    let intra_left = grp * k + (j + k - 1) % k;
+    let inter_right = ((grp + 1) % g) * k + j;
+    let inter_left = ((grp + g - 1) % g) * k + j;
+    let blk = |group: usize, member: usize| group * k + member;
+
+    for b in 0..g {
+        if b > 0 {
+            // Inter-group round: the group's members collectively forward
+            // the k blocks of group (grp - b + 1) to the next group.
+            let send_idx = blk(pmod(grp as isize - b as isize + 1, g), j);
+            let recv_idx = blk(pmod(grp as isize - b as isize, g), j);
+            let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
+            let got = c.sendrecv(
+                inter_right,
+                tags::ALLGATHER_KRING_INTER,
+                data,
+                inter_left,
+                tags::ALLGATHER_KRING_INTER,
+                sizes[recv_idx],
+            )?;
+            out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+        }
+        // k-1 intra-group rounds circulate group (grp - b)'s blocks.
+        let src_grp = pmod(grp as isize - b as isize, g);
+        for t in 0..k.saturating_sub(1) {
+            let send_idx = blk(src_grp, pmod(j as isize - t as isize, k));
+            let recv_idx = blk(src_grp, pmod(j as isize - t as isize - 1, k));
+            let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
+            let got = c.sendrecv(
+                intra_right,
+                tags::ALLGATHER_KRING_INTRA,
+                data,
+                intra_left,
+                tags::ALLGATHER_KRING_INTRA,
+                sizes[recv_idx],
+            )?;
+            out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+        }
+    }
+    Ok(out)
+}
+
+/// Recursive multiplying allgather (radix `k`). Any process count: `k`-smooth
+/// counts run the pure mixed-radix rounds; others fold the trailing
+/// `p - q` ranks onto partners first (`q` = largest `k`-smooth ≤ `p`).
+pub fn allgather_recmult<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    assert!(k >= 2, "recursive multiplying radix must be at least 2");
+    let p = c.size();
+    let me = c.rank();
+    if p == 1 {
+        return Ok(input.to_vec());
+    }
+    let off = prefix_offsets(sizes);
+    let total = off[p];
+    if let Some(factors) = factorize(p, k) {
+        // Smooth count: blocks are already in rank order within the core.
+        let csizes = sizes.to_vec();
+        return recmult_core(c, me, &factors, input.to_vec(), &csizes);
+    }
+    let q = largest_smooth_leq(p, k);
+    let factors = factorize(q, k).expect("q is k-smooth by construction");
+    if me >= q {
+        // Extra rank: hand our block to the partner, get the full result back.
+        c.send(me - q, tags::FOLD, input.to_vec())?;
+        return c.recv(me - q, tags::FOLD, total);
+    }
+    // Core rank, possibly absorbing one extra's block.
+    let extra = (me + q < p).then_some(me + q);
+    let mut myblock = input.to_vec();
+    if let Some(e) = extra {
+        let got = c.recv(e, tags::FOLD, sizes[e])?;
+        myblock.extend_from_slice(&got);
+    }
+    let csizes: Vec<usize> = (0..q)
+        .map(|v| sizes[v] + if v + q < p { sizes[v + q] } else { 0 })
+        .collect();
+    let gathered = recmult_core(c, me, &factors, myblock, &csizes)?;
+    // Core layout interleaves [block v, block v+q]; reorder to rank order.
+    let mut out = vec![0u8; total];
+    let mut pos = 0usize;
+    for v in 0..q {
+        let len = off[v + 1] - off[v];
+        out[off[v]..off[v + 1]].copy_from_slice(&gathered[pos..pos + len]);
+        pos += len;
+        if v + q < p {
+            let len2 = off[v + q + 1] - off[v + q];
+            out[off[v + q]..off[v + q + 1]].copy_from_slice(&gathered[pos..pos + len2]);
+            pos += len2;
+        }
+    }
+    if let Some(e) = extra {
+        c.send(e, tags::FOLD, out.clone())?;
+    }
+    Ok(out)
+}
+
+/// The mixed-radix exchange rounds over `q = product(factors)` ranks
+/// (`me < q`). After the round with stride `s` and factor `f`, each rank
+/// owns the `s*f`-aligned span containing it.
+fn recmult_core<C: Comm>(
+    c: &mut C,
+    me: usize,
+    factors: &[usize],
+    myblock: Vec<u8>,
+    csizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    let q: usize = factors.iter().product::<usize>().max(1);
+    debug_assert!(me < q);
+    let off = prefix_offsets(csizes);
+    let mut out = vec![0u8; off[q]];
+    out[off[me]..off[me] + myblock.len()].copy_from_slice(&myblock);
+    let mut s = 1usize;
+    for (round, &f) in factors.iter().enumerate() {
+        let tag = tags::ALLGATHER_RECMULT + round as u32;
+        let d = (me / s) % f;
+        let base = me - d * s;
+        let own_lo = (me / (s * f)) * (s * f) + (me / s % f) * s;
+        debug_assert_eq!(own_lo, (me / s) * s);
+        let own_hi = own_lo + s;
+        let send = out[off[own_lo]..off[own_hi]].to_vec();
+        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
+        let mut recv_reqs: Vec<(Req, usize, usize)> = Vec::with_capacity(f - 1);
+        for dd in 0..f {
+            if dd == d {
+                continue;
+            }
+            let peer = base + dd * s;
+            let peer_lo = (peer / s) * s;
+            let peer_hi = peer_lo + s;
+            send_reqs.push(c.isend(peer, tag, send.clone())?);
+            let bytes = off[peer_hi] - off[peer_lo];
+            let rq = c.irecv(peer, tag, bytes)?;
+            recv_reqs.push((rq, peer_lo, peer_hi));
+        }
+        c.waitall(send_reqs)?;
+        for (rq, lo, _hi) in recv_reqs {
+            let got = c.wait(rq)?.expect("recv yields payload");
+            out[off[lo]..off[lo] + got.len()].copy_from_slice(&got);
+        }
+        s *= f;
+    }
+    Ok(out)
+}
+
+/// Bruck's allgather: `ceil(log2 p)` rounds with rotated block indexing.
+/// Uniform block sizes only (as in MPICH).
+pub fn allgather_bruck<C: Comm>(c: &mut C, input: &[u8], sizes: &[usize]) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = uniform_size(sizes).expect("Bruck allgather needs uniform blocks");
+    if p == 1 {
+        return Ok(input.to_vec());
+    }
+    // rot[j] holds block (me + j) mod p.
+    let mut rot = vec![0u8; p * n];
+    rot[..n].copy_from_slice(input);
+    let mut pow = 1usize;
+    let mut round = 0u32;
+    while pow < p {
+        let m = pow.min(p - pow);
+        let send = rot[..m * n].to_vec();
+        let dst = pmod(me as isize - pow as isize, p);
+        let src = pmod(me as isize + pow as isize, p);
+        let got = c.sendrecv(
+            dst,
+            tags::ALLGATHER_BRUCK + round,
+            send,
+            src,
+            tags::ALLGATHER_BRUCK + round,
+            m * n,
+        )?;
+        rot[pow * n..(pow + m) * n].copy_from_slice(&got);
+        pow *= 2;
+        round += 1;
+    }
+    // Unrotate into rank order.
+    let mut out = vec![0u8; p * n];
+    for j in 0..p {
+        let r = (me + j) % p;
+        out[r * n..(r + 1) * n].copy_from_slice(&rot[j * n..(j + 1) * n]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn rank_block(rank: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (rank * 41 + i * 3 + 1) as u8).collect()
+    }
+
+    fn uniform_expect(p: usize, n: usize) -> Vec<u8> {
+        (0..p).flat_map(|r| rank_block(r, n)).collect()
+    }
+
+    fn check_uniform(kernel: AllgatherKernel, p: usize, n: usize) {
+        let sizes = vec![n; p];
+        let expect = uniform_expect(p, n);
+        let out = run_ranks(p, |c| {
+            let mine = rank_block(c.rank(), n);
+            allgather_kernel(c, kernel, &mine, &sizes)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "{kernel:?} p={p} n={n} rank={r}");
+        }
+    }
+
+    fn check_ragged(kernel: AllgatherKernel, sizes: &[usize]) {
+        let p = sizes.len();
+        let expect: Vec<u8> = (0..p).flat_map(|r| rank_block(r, sizes[r])).collect();
+        let sizes_owned = sizes.to_vec();
+        let out = run_ranks(p, |c| {
+            let mine = rank_block(c.rank(), sizes_owned[c.rank()]);
+            allgather_kernel(c, kernel, &mine, &sizes_owned)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "{kernel:?} sizes={sizes:?} rank={r}");
+        }
+    }
+
+    #[test]
+    fn ring_uniform() {
+        for p in [1usize, 2, 3, 7, 8, 12] {
+            check_uniform(AllgatherKernel::Ring, p, 6);
+        }
+    }
+
+    #[test]
+    fn ring_ragged_blocks() {
+        check_ragged(AllgatherKernel::Ring, &[3, 0, 7, 1, 4]);
+    }
+
+    #[test]
+    fn ring_from_shifted_ownership() {
+        // Every rank starts owning block (rank+1) % p, as after the ring
+        // reduce-scatter.
+        let p = 6;
+        let n = 5;
+        let sizes = vec![n; p];
+        let expect = uniform_expect(p, n);
+        let out = run_ranks(p, |c| {
+            let own = (c.rank() + 1) % p;
+            let mine = rank_block(own, n);
+            allgather_ring_from(c, own, &mine, &sizes)
+        });
+        assert!(out.iter().all(|o| o == &expect));
+    }
+
+    #[test]
+    fn kring_matches_fig6() {
+        // p = 6, k = 3: the paper's worked example.
+        check_uniform(AllgatherKernel::KRing { k: 3 }, 6, 4);
+    }
+
+    #[test]
+    fn kring_group_sizes() {
+        for (p, k) in [
+            (8usize, 1usize),
+            (8, 2),
+            (8, 4),
+            (8, 8),
+            (12, 3),
+            (12, 6),
+            (9, 3),
+            (16, 4),
+        ] {
+            check_uniform(AllgatherKernel::KRing { k }, p, 5);
+        }
+    }
+
+    #[test]
+    fn kring_k1_equals_ring_traffic() {
+        // k = 1 must produce the ring communication pattern: verify it
+        // completes and matches (structure equality is checked in sim tests).
+        check_uniform(AllgatherKernel::KRing { k: 1 }, 7, 3);
+    }
+
+    #[test]
+    fn kring_ragged() {
+        check_ragged(AllgatherKernel::KRing { k: 2 }, &[2, 5, 0, 3, 1, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn uniform_kring_rejects_nondivisible() {
+        // The uniform fast path insists on k | p; the dispatcher routes
+        // non-divisible configurations to the general variant instead.
+        exacoll_comm::record_traces(8, |c| {
+            let mine = rank_block(c.rank(), 4);
+            allgather_kring(c, 3, &mine, &[4; 8]).map(|_| ())
+        });
+    }
+
+    #[test]
+    fn dispatcher_routes_nondivisible_kring_to_general_variant() {
+        check_uniform(AllgatherKernel::KRing { k: 3 }, 8, 4);
+        check_uniform(AllgatherKernel::KRing { k: 5 }, 7, 4);
+        check_ragged(AllgatherKernel::KRing { k: 3 }, &[2, 5, 0, 3, 1, 6, 2]);
+    }
+
+    #[test]
+    fn recmult_smooth_counts() {
+        for (p, k) in [
+            (2usize, 2usize),
+            (4, 2),
+            (8, 2),
+            (9, 3),
+            (12, 4),
+            (16, 4),
+            (27, 3),
+            (24, 4),
+            (6, 6),
+        ] {
+            check_uniform(AllgatherKernel::RecursiveMultiplying { k }, p, 7);
+        }
+    }
+
+    #[test]
+    fn recmult_fold_path() {
+        // Non-smooth counts exercise fold/unfold.
+        for (p, k) in [(7usize, 2usize), (7, 4), (11, 4), (13, 3), (10, 4), (15, 2)] {
+            check_uniform(AllgatherKernel::RecursiveMultiplying { k }, p, 5);
+        }
+    }
+
+    #[test]
+    fn recmult_ragged() {
+        check_ragged(
+            AllgatherKernel::RecursiveMultiplying { k: 3 },
+            &[4, 1, 0, 6, 2, 3, 5, 2, 1],
+        );
+        // Ragged through the fold path.
+        check_ragged(
+            AllgatherKernel::RecursiveMultiplying { k: 4 },
+            &[4, 1, 0, 6, 2, 3, 5],
+        );
+    }
+
+    #[test]
+    fn recdoubling_is_recmult_k2() {
+        // Fig. 3's recursive doubling: p = 4, k = 2 in 2 rounds.
+        check_uniform(AllgatherKernel::RecursiveMultiplying { k: 2 }, 4, 8);
+    }
+
+    #[test]
+    fn bruck_counts() {
+        for p in [1usize, 2, 3, 5, 8, 11, 16] {
+            check_uniform(AllgatherKernel::Bruck, p, 4);
+        }
+    }
+
+    #[test]
+    fn gather_bcast_counts() {
+        for (p, k) in [(6usize, 2usize), (9, 3), (13, 4)] {
+            check_uniform(AllgatherKernel::GatherBcast { k }, p, 5);
+        }
+    }
+
+    #[test]
+    fn zero_size_blocks_everywhere() {
+        for kernel in [
+            AllgatherKernel::Ring,
+            AllgatherKernel::KRing { k: 2 },
+            AllgatherKernel::RecursiveMultiplying { k: 2 },
+            AllgatherKernel::Bruck,
+        ] {
+            check_uniform(kernel, 4, 0);
+        }
+    }
+}

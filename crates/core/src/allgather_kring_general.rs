@@ -1,0 +1,228 @@
+//! K-ring allgather for **non-uniform group sizes** (`k ∤ p`) — the corner
+//! case §VI-A singles out as the largest implementation burden.
+//!
+//! Ranks are split into `g = ceil(p / k)` contiguous near-equal groups
+//! (sizes differ by at most one, [`crate::util::block_range`] on rank
+//! space). The round structure mirrors the uniform k-ring (Fig. 6): phases
+//! of intra-group circulation punctuated by one inter-group handoff, but
+//! blocks travel in *residue-class bundles*:
+//!
+//! * After the inter round of phase `b`, member `j` of a size-`s` group
+//!   holds the source group's blocks whose slot index `x` satisfies
+//!   `x ≡ j (mod s)`.
+//! * Intra round `t` then forwards the class `(j - t) mod s` bundle to the
+//!   right neighbor, so after `s - 1` rounds every member holds every class.
+//! * In the inter round, the left group's member `(j mod s_prev)` — which
+//!   owns the full source-group data by then — ships member `j` its whole
+//!   bundle in one message.
+//!
+//! With `k | p` every bundle is a single block and this reduces to the
+//! paper's schedule round-for-round (tested).
+
+use crate::tags;
+use crate::util::{block_range, pmod, prefix_offsets};
+use exacoll_comm::{Comm, CommResult, Req};
+
+/// Group index of `rank` when `p` ranks form `g` contiguous near-equal
+/// groups (the exact inverse of [`block_range`] on rank space).
+fn group_of(p: usize, g: usize, rank: usize) -> usize {
+    // rank >= G*p/g  <=>  G <= (rank+1)*g - 1) / p for floor splits; verify
+    // and nudge in case of rounding edge cases so the result is always the
+    // block containing `rank`.
+    let mut grp = (((rank + 1) * g).saturating_sub(1) / p).min(g - 1);
+    loop {
+        let (s, e) = block_range(p, g, grp);
+        if rank < s {
+            grp -= 1;
+        } else if rank >= e {
+            grp += 1;
+        } else {
+            return grp;
+        }
+    }
+}
+
+/// The k-ring allgather generalized to arbitrary `p` and `1 <= k <= p`.
+pub fn allgather_kring_general<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    assert!((1..=p).contains(&k), "group size {k} out of range for p={p}");
+    let off = prefix_offsets(sizes);
+    let mut out = vec![0u8; off[p]];
+    out[off[me]..off[me] + input.len()].copy_from_slice(input);
+    if p == 1 {
+        return Ok(out);
+    }
+    let g = p.div_ceil(k);
+    let grp = group_of(p, g, me);
+    let (gs, ge) = block_range(p, g, grp); // my group's rank span
+    let s = ge - gs; // my group size
+    let j = me - gs; // my member index
+    let intra_right = gs + (j + 1) % s;
+    let intra_left = gs + (j + s - 1) % s;
+
+    // Span and size of an arbitrary group.
+    let span = |gg: usize| block_range(p, g, gg);
+    // Blocks of source group `src` in residue class `class` modulo the
+    // *receiving* group's size (empty when class >= the source's size).
+    let class_blocks = |src: usize, class: usize, modulus: usize| -> Vec<usize> {
+        let (ss, se) = span(src);
+        (ss..se)
+            .filter(|&r| (r - ss) % modulus == class)
+            .collect()
+    };
+    let blocks_len =
+        |blocks: &[usize]| blocks.iter().map(|&b| sizes[b]).sum::<usize>();
+    // Gather the listed blocks' bytes from `out` into one bundle.
+    let pack = |out: &Vec<u8>, blocks: &[usize]| -> Vec<u8> {
+        let mut buf = Vec::with_capacity(blocks_len(blocks));
+        for &b in blocks {
+            buf.extend_from_slice(&out[off[b]..off[b + 1]]);
+        }
+        buf
+    };
+    let unpack = |out: &mut Vec<u8>, blocks: &[usize], data: &[u8]| {
+        let mut pos = 0;
+        for &b in blocks {
+            let len = sizes[b];
+            out[off[b]..off[b + 1]].copy_from_slice(&data[pos..pos + len]);
+            pos += len;
+        }
+    };
+
+    for b in 0..g {
+        let src = pmod(grp as isize - b as isize, g);
+        if b > 0 {
+            // Inter round: fetch my residue-class bundle of group `src`
+            // from the left group, and serve the right group its bundles of
+            // group `src_right = src + 1` (which I fully own by now).
+            let left_grp = pmod(grp as isize - 1, g);
+            let (ls, le) = span(left_grp);
+            let s_left = le - ls;
+            let sender = ls + j % s_left;
+            let my_bundle = class_blocks(src, j, s);
+            let rq = c.irecv(sender, tags::ALLGATHER_KRING_INTER, blocks_len(&my_bundle))?;
+
+            let right_grp = (grp + 1) % g;
+            let (rs, re) = span(right_grp);
+            let s_right = re - rs;
+            debug_assert!(s_right > 0);
+            let src_right = pmod(right_grp as isize - b as isize, g);
+            let mut send_reqs: Vec<Req> = Vec::new();
+            for jr in 0..s_right {
+                if jr % s == j {
+                    let bundle = class_blocks(src_right, jr, s_right);
+                    let data = pack(&out, &bundle);
+                    send_reqs.push(c.isend(rs + jr, tags::ALLGATHER_KRING_INTER, data)?);
+                }
+            }
+            c.waitall(send_reqs)?;
+            let got = c.wait(rq)?.expect("recv yields payload");
+            unpack(&mut out, &my_bundle, &got);
+        }
+        // Intra rounds: circulate group `src`'s residue-class bundles.
+        for t in 0..s - 1 {
+            let send_class = pmod(j as isize - t as isize, s);
+            let recv_class = pmod(j as isize - t as isize - 1, s);
+            let send_blocks = class_blocks(src, send_class, s);
+            let recv_blocks = class_blocks(src, recv_class, s);
+            let data = pack(&out, &send_blocks);
+            let got = c.sendrecv(
+                intra_right,
+                tags::ALLGATHER_KRING_INTRA,
+                data,
+                intra_left,
+                tags::ALLGATHER_KRING_INTRA,
+                blocks_len(&recv_blocks),
+            )?;
+            unpack(&mut out, &recv_blocks, &got);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn rank_block(rank: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (rank * 37 + i + 1) as u8).collect()
+    }
+
+    fn check(p: usize, k: usize, sizes: &[usize]) {
+        let expect: Vec<u8> = (0..p).flat_map(|r| rank_block(r, sizes[r])).collect();
+        let sizes_owned = sizes.to_vec();
+        let out = run_ranks(p, |c| {
+            let mine = rank_block(c.rank(), sizes_owned[c.rank()]);
+            allgather_kring_general(c, k, &mine, &sizes_owned)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "p={p} k={k} rank={r}");
+        }
+    }
+
+    #[test]
+    fn group_of_is_blockrange_inverse() {
+        for p in [5usize, 7, 12, 13, 100] {
+            for g in 1..=p {
+                for r in 0..p {
+                    let grp = group_of(p, g, r);
+                    let (s, e) = block_range(p, g, grp);
+                    assert!(s <= r && r < e, "p={p} g={g} r={r} -> {grp} [{s},{e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_groups_still_work() {
+        for (p, k) in [(6usize, 3usize), (8, 4), (12, 2), (9, 3)] {
+            check(p, k, &vec![5; p]);
+        }
+    }
+
+    #[test]
+    fn non_divisible_group_sizes() {
+        // The §VI-A corner cases: k does not divide p.
+        for (p, k) in [
+            (7usize, 3usize),
+            (7, 2),
+            (10, 3),
+            (11, 4),
+            (13, 5),
+            (9, 2),
+            (17, 8),
+            (5, 4),
+        ] {
+            check(p, k, &vec![4; p]);
+        }
+    }
+
+    #[test]
+    fn extreme_group_sizes() {
+        check(7, 1, &vec![3; 7]); // all singleton groups = ring
+        check(7, 7, &vec![3; 7]); // one group = pure intra ring
+        check(7, 6, &vec![3; 7]); // group sizes 4 and 3
+    }
+
+    #[test]
+    fn ragged_block_sizes_with_ragged_groups() {
+        check(7, 3, &[3, 0, 5, 1, 4, 2, 6]);
+        check(10, 4, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn proptest_style_sweep() {
+        for p in 2..=14usize {
+            for k in 1..=p {
+                check(p, k, &vec![2; p]);
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Allreduce algorithms.
+//!
+//! * [`allreduce_recmult`] — recursive multiplying (§IV): `log_k p` rounds;
+//!   each round every rank exchanges its running vector with `k-1` partners
+//!   and folds. The paper's headline recursive-multiplying collective
+//!   (Fig. 8b, Fig. 9d, Fig. 10c); `k = 2` is MPICH's recursive doubling.
+//!   Non-`k`-smooth process counts fold remainder ranks first (the
+//!   "non-uniform group" corner case of §VI-A).
+//! * [`allreduce_rsag`] — ring reduce-scatter followed by an allgather
+//!   kernel. With [`AllgatherKernel::Ring`] this is the classic bandwidth-
+//!   optimal ring allreduce; with [`AllgatherKernel::KRing`] it is the
+//!   paper's k-ring allreduce ("the reduce-scatter-allgather algorithm,
+//!   which can also leverage the MPI_Allgather k-ring algorithm", §VI-C).
+//! * [`allreduce_reduce_bcast`] — k-nomial reduce + k-nomial bcast, the
+//!   composite of Eq. (2)/(3).
+
+use crate::allgather::{allgather_kernel, AllgatherKernel};
+use crate::bcast::bcast_knomial;
+use crate::reduce::reduce_knomial;
+use crate::reduce_scatter::{elem_block_sizes, reduce_scatter_ring};
+use crate::tags;
+use crate::topo::{factorize, largest_smooth_leq};
+use exacoll_comm::{reduce_into, Comm, CommResult, DType, ReduceOp, Req};
+
+/// Recursive multiplying allreduce with radix `k`. Every rank contributes
+/// `input` and receives the full elementwise reduction.
+pub fn allreduce_recmult<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    allreduce_recmult_mapped(c, k, p, me, |g| g, input, dtype, op)
+}
+
+/// Recursive multiplying allreduce over a *subgroup*: `gsize` participants
+/// with group indices `0..gsize`, mapped to global ranks by `map`. The
+/// hierarchical allreduce runs this among node leaders.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_recmult_mapped<C: Comm>(
+    c: &mut C,
+    k: usize,
+    gsize: usize,
+    gidx: usize,
+    map: impl Fn(usize) -> usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    assert!(k >= 2, "recursive multiplying radix must be at least 2");
+    debug_assert!(gidx < gsize);
+    let n = input.len();
+    let mut acc = input.to_vec();
+    if gsize == 1 {
+        return Ok(acc);
+    }
+    let q = if factorize(gsize, k).is_some() {
+        gsize
+    } else {
+        largest_smooth_leq(gsize, k)
+    };
+    // Fold: extras hand their vector to a partner and wait for the result.
+    if gidx >= q {
+        c.send(map(gidx - q), tags::FOLD, acc)?;
+        return c.recv(map(gidx - q), tags::FOLD, n);
+    }
+    if gidx + q < gsize {
+        let got = c.recv(map(gidx + q), tags::FOLD, n)?;
+        reduce_into(dtype, op, &mut acc, &got)?;
+        c.compute(n);
+    }
+    // Mixed-radix exchange rounds among the q core members.
+    let factors = factorize(q, k).expect("q is k-smooth");
+    let mut s = 1usize;
+    for (round, &f) in factors.iter().enumerate() {
+        let tag = tags::ALLREDUCE_RECMULT + round as u32;
+        let d = (gidx / s) % f;
+        let base = gidx - d * s;
+        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
+        let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(f - 1);
+        for dd in 0..f {
+            if dd == d {
+                continue;
+            }
+            let peer = map(base + dd * s);
+            send_reqs.push(c.isend(peer, tag, acc.clone())?);
+            recv_reqs.push((dd, c.irecv(peer, tag, n)?));
+        }
+        c.waitall(send_reqs)?;
+        // Fold all group members' vectors in ascending group position so
+        // every member computes the bitwise-identical result.
+        let mut contributions: Vec<(usize, Vec<u8>)> = Vec::with_capacity(f);
+        contributions.push((d, std::mem::take(&mut acc)));
+        for (dd, rq) in recv_reqs {
+            contributions.push((dd, c.wait(rq)?.expect("recv yields payload")));
+        }
+        contributions.sort_by_key(|(dd, _)| *dd);
+        let mut it = contributions.into_iter();
+        let (_, mut folded) = it.next().expect("group nonempty");
+        for (_, buf) in it {
+            reduce_into(dtype, op, &mut folded, &buf)?;
+            c.compute(n);
+        }
+        acc = folded;
+        s *= f;
+    }
+    // Unfold: return the result to the absorbed extra.
+    if gidx + q < gsize {
+        c.send(map(gidx + q), tags::FOLD, acc.clone())?;
+    }
+    Ok(acc)
+}
+
+/// Hierarchical (SMP-aware) allreduce, the Hasanov-style structure the
+/// paper cites as k-ring's inspiration [17]: a flat intranode reduce to
+/// each node leader, recursive multiplying with radix `k` among leaders,
+/// then a flat intranode broadcast. Requires `ppn | p`; ranks are grouped
+/// contiguously per node as in `exacoll_sim::Machine`.
+pub fn allreduce_hierarchical<C: Comm>(
+    c: &mut C,
+    ppn: usize,
+    k: usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    assert!(ppn >= 1, "processes per node must be at least 1");
+    assert!(
+        p.is_multiple_of(ppn),
+        "hierarchical allreduce needs ppn ({ppn}) to divide p ({p})"
+    );
+    let leader = me / ppn * ppn;
+    let nodes = p / ppn;
+    let mut acc = input.to_vec();
+    if me != leader {
+        // Phase 1: contribute to the node leader; phase 3: await result.
+        c.send(leader, tags::HIER_REDUCE, acc)?;
+        return c.recv(leader, tags::HIER_BCAST, n);
+    }
+    // Leader: absorb the node's contributions in ascending rank order.
+    let reqs: Vec<Req> = (leader + 1..leader + ppn)
+        .map(|r| c.irecv(r, tags::HIER_REDUCE, n))
+        .collect::<CommResult<_>>()?;
+    for got in c.waitall(reqs)? {
+        reduce_into(dtype, op, &mut acc, &got.expect("payload"))?;
+        c.compute(n);
+    }
+    // Phase 2: recursive multiplying among the node leaders.
+    acc = allreduce_recmult_mapped(c, k, nodes, me / ppn, |l| l * ppn, &acc, dtype, op)?;
+    // Phase 3: flat intranode broadcast.
+    let reqs: Vec<Req> = (leader + 1..leader + ppn)
+        .map(|r| c.isend(r, tags::HIER_BCAST, acc.clone()))
+        .collect::<CommResult<_>>()?;
+    c.waitall(reqs)?;
+    Ok(acc)
+}
+
+/// Reduce-scatter + allgather allreduce. The reduce-scatter is the ring
+/// variant; `kernel` picks the allgather phase (ring = classic ring
+/// allreduce, k-ring = the paper's k-ring allreduce, recursive multiplying
+/// = a Rabenseifner-style composite).
+pub fn allreduce_rsag<C: Comm>(
+    c: &mut C,
+    kernel: AllgatherKernel,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let n = input.len();
+    if p == 1 {
+        return Ok(input.to_vec());
+    }
+    let mine = reduce_scatter_ring(c, input, dtype, op)?;
+    let sizes = elem_block_sizes(n, dtype.size(), p);
+    allgather_kernel(c, kernel, &mine, &sizes)
+}
+
+/// K-nomial reduce to rank 0 followed by k-nomial broadcast.
+pub fn allreduce_reduce_bcast<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    let n = input.len();
+    let reduced = reduce_knomial(c, k, 0, input, dtype, op)?;
+    bcast_knomial(c, k, 0, reduced.as_deref(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::{reduce_ops::reduce_all, run_ranks, TypedBuf};
+
+    fn rank_input(rank: usize, count: usize, dtype: DType) -> Vec<u8> {
+        let vals: Vec<f64> = (0..count)
+            .map(|i| ((rank * 7 + i * 3) % 13) as f64)
+            .collect();
+        TypedBuf::from_f64s(dtype, &vals).bytes
+    }
+
+    fn check<F>(p: usize, count: usize, dtype: DType, op: ReduceOp, f: F, label: &str)
+    where
+        F: Fn(&mut exacoll_comm::ThreadComm, &[u8]) -> CommResult<Vec<u8>> + Send + Sync,
+    {
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, count, dtype)).collect();
+        let expect = reduce_all(dtype, op, &inputs).unwrap();
+        let out = run_ranks(p, |c| f(c, &inputs[c.rank()]));
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "{label} p={p} rank={r} {dtype} {op}");
+        }
+    }
+
+    #[test]
+    fn recmult_smooth_counts() {
+        for (p, k) in [
+            (2usize, 2usize),
+            (4, 2),
+            (8, 2),
+            (9, 3),
+            (16, 4),
+            (12, 4),
+            (27, 3),
+            (6, 6),
+        ] {
+            check(
+                p,
+                8,
+                DType::I64,
+                ReduceOp::Sum,
+                |c, x| allreduce_recmult(c, k, x, DType::I64, ReduceOp::Sum),
+                "recmult",
+            );
+        }
+    }
+
+    #[test]
+    fn recmult_fold_path() {
+        for (p, k) in [(3usize, 2usize), (7, 2), (7, 4), (11, 4), (13, 3), (15, 2)] {
+            check(
+                p,
+                6,
+                DType::I32,
+                ReduceOp::Sum,
+                |c, x| allreduce_recmult(c, k, x, DType::I32, ReduceOp::Sum),
+                "recmult-fold",
+            );
+        }
+    }
+
+    #[test]
+    fn recmult_ops_dtypes() {
+        for op in ReduceOp::ALL {
+            for dtype in [DType::U8, DType::I32, DType::F64] {
+                if op.supports(dtype) {
+                    check(
+                        9,
+                        5,
+                        dtype,
+                        op,
+                        move |c, x| allreduce_recmult(c, 3, x, dtype, op),
+                        "recmult-opmat",
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce() {
+        for p in [1usize, 2, 3, 5, 8, 12] {
+            check(
+                p,
+                10,
+                DType::I64,
+                ReduceOp::Sum,
+                |c, x| allreduce_rsag(c, AllgatherKernel::Ring, x, DType::I64, ReduceOp::Sum),
+                "ring",
+            );
+        }
+    }
+
+    #[test]
+    fn kring_allreduce() {
+        for (p, k) in [(6usize, 3usize), (8, 4), (8, 2), (12, 4), (12, 6), (9, 3)] {
+            check(
+                p,
+                11,
+                DType::I64,
+                ReduceOp::Sum,
+                move |c, x| {
+                    allreduce_rsag(c, AllgatherKernel::KRing { k }, x, DType::I64, ReduceOp::Sum)
+                },
+                "kring",
+            );
+        }
+    }
+
+    #[test]
+    fn rsag_recmult_composite() {
+        for (p, k) in [(8usize, 4usize), (7, 2), (12, 3)] {
+            check(
+                p,
+                9,
+                DType::I32,
+                ReduceOp::Sum,
+                move |c, x| {
+                    allreduce_rsag(
+                        c,
+                        AllgatherKernel::RecursiveMultiplying { k },
+                        x,
+                        DType::I32,
+                        ReduceOp::Sum,
+                    )
+                },
+                "rsag-recmult",
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_bcast_composite() {
+        for (p, k) in [(6usize, 2usize), (9, 3), (13, 4), (16, 16)] {
+            check(
+                p,
+                7,
+                DType::U64,
+                ReduceOp::Max,
+                move |c, x| allreduce_reduce_bcast(c, k, x, DType::U64, ReduceOp::Max),
+                "reduce-bcast",
+            );
+        }
+    }
+
+    #[test]
+    fn float_sums_bitwise_identical_across_ranks() {
+        // Random-ish f64s: all ranks must produce the *same* bits even if
+        // the value depends on association order.
+        let p = 12;
+        let count = 16;
+        let inputs: Vec<Vec<u8>> = (0..p)
+            .map(|r| {
+                let vals: Vec<f64> = (0..count)
+                    .map(|i| 1.0 / ((r * count + i + 1) as f64))
+                    .collect();
+                TypedBuf::from_f64s(DType::F64, &vals).bytes
+            })
+            .collect();
+        for k in [2usize, 3, 4] {
+            let out = run_ranks(p, |c| {
+                allreduce_recmult(c, k, &inputs[c.rank()], DType::F64, ReduceOp::Sum)
+            });
+            for o in &out[1..] {
+                assert_eq!(o, &out[0], "rank results diverge for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_correctness() {
+        for (p, ppn, k) in [
+            (8usize, 2usize, 2usize),
+            (8, 4, 2),
+            (8, 8, 2),
+            (12, 4, 3),
+            (16, 4, 4),
+            (24, 8, 4),
+            (6, 1, 3), // degenerate: every rank its own leader
+            (20, 4, 4), // 5 leaders: non-smooth leader count, fold path
+        ] {
+            check(
+                p,
+                9,
+                DType::I64,
+                ReduceOp::Sum,
+                move |c, x| allreduce_hierarchical(c, ppn, k, x, DType::I64, ReduceOp::Sum),
+                "hierarchical",
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_float_bitwise_identical() {
+        let p = 16;
+        let inputs: Vec<Vec<u8>> = (0..p)
+            .map(|r| {
+                let vals: Vec<f64> = (0..8).map(|i| 1.0 / ((r * 8 + i + 1) as f64)).collect();
+                TypedBuf::from_f64s(DType::F64, &vals).bytes
+            })
+            .collect();
+        let out = run_ranks(p, |c| {
+            allreduce_hierarchical(c, 4, 4, &inputs[c.rank()], DType::F64, ReduceOp::Sum)
+        });
+        for o in &out[1..] {
+            assert_eq!(o, &out[0], "hierarchical results diverge across ranks");
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_vectors() {
+        check(
+            5,
+            0,
+            DType::F64,
+            ReduceOp::Sum,
+            |c, x| allreduce_recmult(c, 2, x, DType::F64, ReduceOp::Sum),
+            "empty",
+        );
+        check(
+            8,
+            1,
+            DType::U8,
+            ReduceOp::BOr,
+            |c, x| allreduce_rsag(c, AllgatherKernel::Ring, x, DType::U8, ReduceOp::BOr),
+            "one-elem",
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Alltoall algorithms — the radix-generalization thesis applied to
+//! personalized all-to-all exchange.
+//!
+//! §VII cites Fan et al.'s generalization of Bruck's algorithm for
+//! all-to-all communication; this module implements that family:
+//!
+//! * [`alltoall_pairwise`] — `p-1` rounds, round `i` exchanging directly
+//!   with ranks `±i`: bandwidth-optimal (every block moves once), linear
+//!   latency. MPICH's large-message choice.
+//! * [`alltoall_spread`] — post all `p-1` sends and receives at once and
+//!   wait: one "round", maximal concurrency, at the mercy of NIC ports and
+//!   buffering (MPICH's `isend_irecv` small/medium algorithm).
+//! * [`alltoall_bruck`] — **radix-`r` Bruck**: blocks travel via
+//!   intermediate ranks in `(r-1)·ceil(log_r p)` bundled rounds. `r = 2` is
+//!   Bruck's classic algorithm (log₂ p rounds, each moving ~half the
+//!   data); larger radixes trade rounds for volume exactly like the
+//!   paper's kernels trade α for β.
+//!
+//! Data layout: every rank contributes `p` blocks of `n` bytes (`input`
+//! is `p·n` long); block `j` is destined to rank `j`. The output is the
+//! received blocks in source-rank order.
+
+use crate::util::pmod;
+use exacoll_comm::{Comm, CommResult, Req};
+
+/// Tag bases (kept local: alltoall is an extension family).
+const TAG_PAIRWISE: u32 = 0x0d00;
+const TAG_SPREAD: u32 = 0x0d10;
+const TAG_BRUCK: u32 = 0x0d20;
+
+fn block_count(c: &impl Comm, input: &[u8]) -> usize {
+    let p = c.size();
+    assert!(
+        input.len().is_multiple_of(p),
+        "alltoall input must be p blocks of equal size"
+    );
+    input.len() / p
+}
+
+/// Pairwise-exchange alltoall: round `i` sends block `(me+i) mod p` to that
+/// rank and receives from `(me-i) mod p`.
+pub fn alltoall_pairwise<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = block_count(c, input);
+    let mut out = vec![0u8; p * n];
+    out[me * n..(me + 1) * n].copy_from_slice(&input[me * n..(me + 1) * n]);
+    for i in 1..p {
+        let to = (me + i) % p;
+        let from = pmod(me as isize - i as isize, p);
+        let got = c.sendrecv(
+            to,
+            TAG_PAIRWISE,
+            input[to * n..(to + 1) * n].to_vec(),
+            from,
+            TAG_PAIRWISE,
+            n,
+        )?;
+        out[from * n..from * n + got.len()].copy_from_slice(&got);
+    }
+    Ok(out)
+}
+
+/// Spread-out alltoall: post everything non-blocking, wait once.
+pub fn alltoall_spread<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = block_count(c, input);
+    let mut out = vec![0u8; p * n];
+    out[me * n..(me + 1) * n].copy_from_slice(&input[me * n..(me + 1) * n]);
+    let mut send_reqs: Vec<Req> = Vec::with_capacity(p - 1);
+    let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(p - 1);
+    // MPICH staggers peers by rank to avoid hot receivers.
+    for i in 1..p {
+        let to = (me + i) % p;
+        let from = pmod(me as isize - i as isize, p);
+        send_reqs.push(c.isend(to, TAG_SPREAD, input[to * n..(to + 1) * n].to_vec())?);
+        recv_reqs.push((from, c.irecv(from, TAG_SPREAD, n)?));
+    }
+    c.waitall(send_reqs)?;
+    for (from, rq) in recv_reqs {
+        let got = c.wait(rq)?.expect("recv yields payload");
+        out[from * n..from * n + got.len()].copy_from_slice(&got);
+    }
+    Ok(out)
+}
+
+/// Radix-`r` Bruck alltoall.
+///
+/// Phase 1 rotates block `dest` to index `j = (dest - me) mod p` ("distance
+/// still to travel"). Phase 2 processes `j` digit-by-digit in base `r`:
+/// for digit position `d` with value `v ≥ 1`, every block whose `d`-th
+/// digit is `v` hops `v·r^d` ranks forward in one bundled message. After
+/// all digits, index `j` holds the block *from* rank `(me - j) mod p`
+/// destined to me; phase 3 reorders to source order.
+pub fn alltoall_bruck<C: Comm>(c: &mut C, r: usize, input: &[u8]) -> CommResult<Vec<u8>> {
+    assert!(r >= 2, "Bruck radix must be at least 2");
+    let p = c.size();
+    let me = c.rank();
+    let n = block_count(c, input);
+    if p == 1 {
+        return Ok(input.to_vec());
+    }
+    // Phase 1: rotate.
+    let mut buf = vec![0u8; p * n];
+    for j in 0..p {
+        let dest = (me + j) % p;
+        buf[j * n..(j + 1) * n].copy_from_slice(&input[dest * n..(dest + 1) * n]);
+    }
+    // Phase 2: digit rounds.
+    let mut stride = 1usize; // r^d
+    let mut round = 0u32;
+    while stride < p {
+        for v in 1..r {
+            let hop = v * stride;
+            if hop >= p {
+                break;
+            }
+            let indices: Vec<usize> = (0..p).filter(|&j| (j / stride) % r == v).collect();
+            if indices.is_empty() {
+                continue;
+            }
+            let tag = TAG_BRUCK + round;
+            let mut bundle = Vec::with_capacity(indices.len() * n);
+            for &j in &indices {
+                bundle.extend_from_slice(&buf[j * n..(j + 1) * n]);
+            }
+            let to = (me + hop) % p;
+            let from = pmod(me as isize - hop as isize, p);
+            let got = c.sendrecv(to, tag, bundle, from, tag, indices.len() * n)?;
+            for (slot, &j) in indices.iter().enumerate() {
+                buf[j * n..(j + 1) * n].copy_from_slice(&got[slot * n..(slot + 1) * n]);
+            }
+            round += 1;
+        }
+        stride *= r;
+    }
+    // Phase 3: index j holds the block from rank (me - j) mod p.
+    let mut out = vec![0u8; p * n];
+    for j in 0..p {
+        let src = pmod(me as isize - j as isize, p);
+        out[src * n..(src + 1) * n].copy_from_slice(&buf[j * n..(j + 1) * n]);
+    }
+    Ok(out)
+}
+
+/// Number of communication rounds radix-`r` Bruck uses for `p` ranks.
+pub fn bruck_rounds(p: usize, r: usize) -> usize {
+    let mut rounds = 0;
+    let mut stride = 1usize;
+    while stride < p {
+        for v in 1..r {
+            if v * stride < p {
+                rounds += 1;
+            }
+        }
+        stride *= r;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn rank_input(rank: usize, p: usize, n: usize) -> Vec<u8> {
+        // Block j of rank `rank` is tagged with (rank, j).
+        (0..p)
+            .flat_map(|j| (0..n).map(move |b| (rank * 31 + j * 7 + b) as u8))
+            .collect()
+    }
+
+    fn expected(me: usize, p: usize, n: usize) -> Vec<u8> {
+        // out block i = rank i's block for me.
+        (0..p)
+            .flat_map(|i| {
+                let all = rank_input(i, p, n);
+                all[me * n..(me + 1) * n].to_vec()
+            })
+            .collect()
+    }
+
+    fn check(p: usize, n: usize, f: impl Fn(&mut exacoll_comm::ThreadComm, &[u8]) -> CommResult<Vec<u8>> + Send + Sync, label: &str) {
+        let out = run_ranks(p, |c| {
+            let input = rank_input(c.rank(), p, n);
+            f(c, &input)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expected(r, p, n), "{label} p={p} n={n} rank={r}");
+        }
+    }
+
+    #[test]
+    fn pairwise_counts() {
+        for p in [1usize, 2, 3, 5, 8, 12] {
+            check(p, 4, |c, x| alltoall_pairwise(c, x), "pairwise");
+        }
+    }
+
+    #[test]
+    fn spread_counts() {
+        for p in [1usize, 2, 4, 7, 9] {
+            check(p, 5, |c, x| alltoall_spread(c, x), "spread");
+        }
+    }
+
+    #[test]
+    fn bruck_all_radixes_and_counts() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17] {
+            for r in [2usize, 3, 4, 8] {
+                check(p, 3, move |c, x| alltoall_bruck(c, r, x), "bruck");
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_radix_p_is_one_shot() {
+        // r >= p degenerates to direct exchange in one digit position.
+        check(6, 4, |c, x| alltoall_bruck(c, 6, x), "bruck-direct");
+        assert_eq!(bruck_rounds(6, 6), 5);
+    }
+
+    #[test]
+    fn bruck_round_counts() {
+        assert_eq!(bruck_rounds(8, 2), 3); // log2
+        assert_eq!(bruck_rounds(9, 3), 4); // 2 digits x 2 values
+        assert_eq!(bruck_rounds(16, 4), 6); // 2 digits x 3 values
+        assert_eq!(bruck_rounds(1, 2), 0);
+        // Larger radix: fewer digit positions but more values per digit.
+        assert!(bruck_rounds(64, 8) > bruck_rounds(64, 2) && bruck_rounds(64, 8) == 14);
+    }
+
+    #[test]
+    fn zero_byte_blocks() {
+        check(6, 0, |c, x| alltoall_bruck(c, 3, x), "bruck-empty");
+        check(6, 0, |c, x| alltoall_pairwise(c, x), "pairwise-empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal size")]
+    fn ragged_input_rejected() {
+        exacoll_comm::record_traces(4, |c| {
+            alltoall_pairwise(c, &[0u8; 7]).map(|_| ())
+        });
+    }
+}

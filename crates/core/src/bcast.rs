@@ -1,0 +1,197 @@
+//! Broadcast algorithms.
+//!
+//! * [`bcast_knomial`] — k-nomial tree (§III); `k = 2` is MPICH's binomial.
+//!   Best for small, latency-bound messages.
+//! * [`bcast_linear`] — root sends to every rank sequentially; the naïve
+//!   `p(α + βn)` baseline from §III-B.
+//! * [`bcast_scatter_allgather`] — the large-message path (§V-C): a binomial
+//!   scatter of `n/p` blocks followed by any allgather kernel (ring, k-ring,
+//!   or recursive multiplying), exactly how MPICH composes its large
+//!   broadcast and how the paper's k-ring and recursive-multiplying
+//!   broadcasts are built.
+
+use crate::allgather::{self, AllgatherKernel};
+use crate::scatter::scatter_knomial;
+use crate::tags;
+use crate::topo::KnomialTree;
+use crate::util::block_len;
+use exacoll_comm::{Comm, CommResult, Rank, Req};
+
+/// K-nomial tree broadcast. `input` must be `Some` at the root; every rank
+/// receives the full payload of `n` bytes.
+pub fn bcast_knomial<C: Comm>(
+    c: &mut C,
+    k: usize,
+    root: Rank,
+    input: Option<&[u8]>,
+    n: usize,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    if p == 1 {
+        return Ok(input.expect("root provides data").to_vec());
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    let data = if v == 0 {
+        input.expect("root provides data").to_vec()
+    } else {
+        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
+        c.recv(parent, tags::BCAST_TREE, n)?
+    };
+    // Deepest-subtree children first; all sends overlap via buffering.
+    let reqs: Vec<Req> = t
+        .children(v)
+        .into_iter()
+        .map(|ch| c.isend(t.unvrank(ch, root), tags::BCAST_TREE, data.clone()))
+        .collect::<CommResult<_>>()?;
+    c.waitall(reqs)?;
+    Ok(data)
+}
+
+/// Naïve linear broadcast: the root sends the payload to every other rank.
+pub fn bcast_linear<C: Comm>(
+    c: &mut C,
+    root: Rank,
+    input: Option<&[u8]>,
+    n: usize,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    if me == root {
+        let data = input.expect("root provides data").to_vec();
+        let reqs: Vec<Req> = (0..p)
+            .filter(|&r| r != root)
+            .map(|r| c.isend(r, tags::BCAST_LINEAR, data.clone()))
+            .collect::<CommResult<_>>()?;
+        c.waitall(reqs)?;
+        Ok(data)
+    } else {
+        c.recv(root, tags::BCAST_LINEAR, n)
+    }
+}
+
+/// Scatter-allgather broadcast: binomial scatter of near-equal blocks, then
+/// the chosen allgather kernel reassembles the payload everywhere.
+pub fn bcast_scatter_allgather<C: Comm>(
+    c: &mut C,
+    kernel: AllgatherKernel,
+    root: Rank,
+    input: Option<&[u8]>,
+    n: usize,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    if p == 1 {
+        return Ok(input.expect("root provides data").to_vec());
+    }
+    let my_block = scatter_knomial(c, 2, root, input, n)?;
+    let sizes: Vec<usize> = (0..p).map(|i| block_len(n, p, i)).collect();
+    allgather::allgather_kernel(c, kernel, &my_block, &sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn knomial_all_radixes_roots_sizes() {
+        for p in [1usize, 2, 3, 4, 6, 9, 16, 17] {
+            for k in [2usize, 3, 4, 8] {
+                for root in [0, p / 2, p - 1] {
+                    let n = 33;
+                    let data = payload(n);
+                    let expect = data.clone();
+                    let out = run_ranks(p, |c| {
+                        let input = (c.rank() == root).then_some(&data[..]);
+                        bcast_knomial(c, k, root, input, n)
+                    });
+                    for (r, o) in out.iter().enumerate() {
+                        assert_eq!(o, &expect, "p={p} k={k} root={root} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matches() {
+        for p in [1usize, 2, 5, 8] {
+            for root in [0, p - 1] {
+                let data = payload(17);
+                let out = run_ranks(p, |c| {
+                    let input = (c.rank() == root).then_some(&data[..]);
+                    bcast_linear(c, root, input, 17)
+                });
+                assert!(out.iter().all(|o| o == &data));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_ring() {
+        for p in [2usize, 3, 7, 8] {
+            for root in [0, p - 1] {
+                for n in [0usize, 5, 64, 129] {
+                    let data = payload(n);
+                    let out = run_ranks(p, |c| {
+                        let input = (c.rank() == root).then_some(&data[..]);
+                        bcast_scatter_allgather(c, AllgatherKernel::Ring, root, input, n)
+                    });
+                    for o in &out {
+                        assert_eq!(o, &data, "p={p} root={root} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_kring() {
+        for (p, k) in [(6usize, 3usize), (8, 4), (8, 2), (12, 4), (9, 3)] {
+            let n = 97;
+            let data = payload(n);
+            let out = run_ranks(p, |c| {
+                let input = (c.rank() == 1).then_some(&data[..]);
+                bcast_scatter_allgather(c, AllgatherKernel::KRing { k }, 1, input, n)
+            });
+            for o in &out {
+                assert_eq!(o, &data, "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_recmult() {
+        for (p, k) in [(8usize, 2usize), (9, 3), (12, 4), (7, 4), (10, 5)] {
+            let n = 64;
+            let data = payload(n);
+            let out = run_ranks(p, |c| {
+                let input = (c.rank() == 0).then_some(&data[..]);
+                bcast_scatter_allgather(
+                    c,
+                    AllgatherKernel::RecursiveMultiplying { k },
+                    0,
+                    input,
+                    n,
+                )
+            });
+            for o in &out {
+                assert_eq!(o, &data, "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_byte_bcast() {
+        let out = run_ranks(5, |c| {
+            let input = (c.rank() == 0).then_some(&[][..]);
+            bcast_knomial(c, 3, 0, input, 0)
+        });
+        assert!(out.iter().all(|o| o.is_empty()));
+    }
+}

@@ -1,0 +1,105 @@
+//! Gather-to-root over the k-nomial tree.
+//!
+//! Fig. 1 of the paper illustrates gather on the binomial tree; the k-nomial
+//! generalization uses the fact that the subtree rooted at vrank `v` covers
+//! the *contiguous* vrank range `[v, v + subtree_size(v))`, so every internal
+//! node forwards a single contiguous buffer to its parent.
+
+use crate::tags;
+use crate::topo::KnomialTree;
+use exacoll_comm::{Comm, CommResult, Rank, Req};
+
+/// K-nomial gather: every rank contributes `input` (uniform length); the
+/// root returns the concatenation in rank order, others return `None`.
+pub fn gather_knomial<C: Comm>(
+    c: &mut C,
+    k: usize,
+    root: Rank,
+    input: &[u8],
+) -> CommResult<Option<Vec<u8>>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    if p == 1 {
+        return Ok(Some(input.to_vec()));
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    let span = t.subtree_size(v);
+    // Buffer covering vranks [v, v + span), own block first.
+    let mut buf = vec![0u8; span * n];
+    buf[..n].copy_from_slice(input);
+    let children = t.children(v);
+    let reqs: Vec<Req> = children
+        .iter()
+        .map(|&ch| c.irecv(t.unvrank(ch, root), tags::GATHER_TREE, t.subtree_size(ch) * n))
+        .collect::<CommResult<_>>()?;
+    let payloads = c.waitall(reqs)?;
+    for (&ch, got) in children.iter().zip(payloads) {
+        let got = got.expect("recv yields payload");
+        let off = (ch - v) * n;
+        buf[off..off + got.len()].copy_from_slice(&got);
+    }
+    if let Some(parent) = t.parent(v) {
+        c.send(t.unvrank(parent, root), tags::GATHER_TREE, buf)?;
+        return Ok(None);
+    }
+    // Root: unrotate vrank order back to rank order.
+    let mut out = vec![0u8; p * n];
+    for vr in 0..p {
+        let r = t.unvrank(vr, root);
+        out[r * n..(r + 1) * n].copy_from_slice(&buf[vr * n..(vr + 1) * n]);
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn rank_block(rank: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (rank * 31 + i) as u8).collect()
+    }
+
+    fn check(p: usize, k: usize, root: usize, n: usize) {
+        let expect: Vec<u8> = (0..p).flat_map(|r| rank_block(r, n)).collect();
+        let out = run_ranks(p, |c| {
+            let mine = rank_block(c.rank(), n);
+            gather_knomial(c, k, root, &mine)
+        });
+        for (r, o) in out.iter().enumerate() {
+            if r == root {
+                assert_eq!(o.as_ref().unwrap(), &expect, "p={p} k={k} root={root}");
+            } else {
+                assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_shapes() {
+        for p in [1usize, 2, 3, 6, 8, 9, 13, 16] {
+            for k in [2usize, 3, 4, 7] {
+                check(p, k, 0, 9);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rotated_roots() {
+        for root in 0..7 {
+            check(7, 3, root, 5);
+        }
+    }
+
+    #[test]
+    fn gather_single_byte_blocks() {
+        check(12, 4, 5, 1);
+    }
+
+    #[test]
+    fn gather_zero_length_blocks() {
+        check(6, 2, 0, 0);
+    }
+}

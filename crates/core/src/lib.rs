@@ -1,0 +1,40 @@
+//! # exacoll-core — generalized collective algorithms
+//!
+//! The paper's primary contribution: three communication kernels whose radix
+//! is exposed as a tunable parameter `k`, yielding ten generalized collective
+//! implementations (Table I):
+//!
+//! | Base kernel        | Generalized kernel         | Collectives                          |
+//! |--------------------|----------------------------|--------------------------------------|
+//! | Binomial tree      | **k-nomial tree**          | Reduce, Bcast, Gather, Allgather     |
+//! | Recursive doubling | **recursive multiplying**  | Bcast, Allgather, Allreduce          |
+//! | Ring               | **k-ring**                 | Bcast, Allgather, Allreduce          |
+//!
+//! plus the classical baselines the paper compares against (linear, binomial
+//! = k-nomial with `k = 2`, recursive doubling = recursive multiplying with
+//! `k = 2`, ring = k-ring with `k = 1`, Bruck, reduce-scatter+allgather).
+//!
+//! Every algorithm is a generic function over [`exacoll_comm::Comm`], so the
+//! same code is executed with real data on the threaded runtime (correctness
+//! tests) and recorded/replayed on the machine simulator (performance).
+//!
+//! The uniform entry point is [`registry::execute`]; see [`registry`] for
+//! the algorithm/operation compatibility matrix.
+
+pub mod allgather;
+pub mod allgather_kring_general;
+pub mod allreduce;
+pub mod alltoall;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod reduce;
+pub mod reduce_scatter;
+pub mod reference;
+pub mod registry;
+pub mod scatter;
+pub mod tags;
+pub mod topo;
+pub mod util;
+
+pub use registry::{execute, Algorithm, CollArgs, CollectiveOp};

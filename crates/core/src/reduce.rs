@@ -1,0 +1,175 @@
+//! Reduction-to-root algorithms.
+//!
+//! * [`reduce_knomial`] — k-nomial tree reduce (§III); the paper's headline
+//!   k-nomial collective (Fig. 8a, Fig. 9a, Fig. 10a). `k = 2` is MPICH's
+//!   binomial reduce. The tree is *receive-heavy at parents*: each parent
+//!   absorbs `k-1` concurrent child messages per level, which multi-port
+//!   NICs and message buffering overlap cheaply — the reason the optimal
+//!   radix for tiny messages sits near `p`.
+//! * [`reduce_linear`] — every rank sends its vector to the root, which
+//!   combines them sequentially.
+//!
+//! Reductions assume a commutative operator (all [`ReduceOp`]s are); partial
+//! results are always folded in ascending source-rank order so results are
+//! bitwise deterministic for a given tree shape.
+
+use crate::tags;
+use crate::topo::KnomialTree;
+use exacoll_comm::{reduce_into, Comm, CommResult, DType, Rank, ReduceOp, Req};
+
+/// K-nomial tree reduce. Every rank contributes `input`; the root returns
+/// the elementwise combination, other ranks return an empty vector.
+pub fn reduce_knomial<C: Comm>(
+    c: &mut C,
+    k: usize,
+    root: Rank,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Option<Vec<u8>>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    let mut acc = input.to_vec();
+    if p > 1 {
+        let t = KnomialTree::new(p, k);
+        let v = t.vrank(me, root);
+        let mut children = t.children(v);
+        // Post every child receive up front (message buffering), then fold
+        // in ascending vrank order for determinism.
+        children.sort_unstable();
+        let reqs: Vec<Req> = children
+            .iter()
+            .map(|&ch| c.irecv(t.unvrank(ch, root), tags::REDUCE_TREE, n))
+            .collect::<CommResult<_>>()?;
+        for got in c.waitall(reqs)? {
+            let got = got.expect("recv request yields payload");
+            reduce_into(dtype, op, &mut acc, &got)?;
+            c.compute(n);
+        }
+        if let Some(parent) = t.parent(v) {
+            c.send(t.unvrank(parent, root), tags::REDUCE_TREE, acc)?;
+            return Ok(None);
+        }
+    }
+    Ok(Some(acc))
+}
+
+/// Linear reduce: all ranks send to the root, which folds in rank order.
+pub fn reduce_linear<C: Comm>(
+    c: &mut C,
+    root: Rank,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Option<Vec<u8>>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    if me == root {
+        let mut acc = input.to_vec();
+        let reqs: Vec<Req> = (0..p)
+            .filter(|&r| r != root)
+            .map(|r| c.irecv(r, tags::REDUCE_LINEAR, n))
+            .collect::<CommResult<_>>()?;
+        // Fold in ascending sender order; `waitall` returns in posting
+        // order, which is ascending by construction.
+        for got in c.waitall(reqs)? {
+            reduce_into(dtype, op, &mut acc, &got.expect("payload"))?;
+            c.compute(n);
+        }
+        Ok(Some(acc))
+    } else {
+        c.send(root, tags::REDUCE_LINEAR, input.to_vec())?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::{reduce_ops::reduce_all, run_ranks, TypedBuf};
+
+    fn rank_input(rank: usize, count: usize, dtype: DType) -> Vec<u8> {
+        let vals: Vec<f64> = (0..count).map(|i| ((rank + 1) * (i + 2) % 17) as f64).collect();
+        TypedBuf::from_f64s(dtype, &vals).bytes
+    }
+
+    fn check(p: usize, k: usize, root: usize, count: usize, dtype: DType, op: ReduceOp) {
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, count, dtype)).collect();
+        let expect = reduce_all(dtype, op, &inputs).unwrap();
+        let out = run_ranks(p, |c| {
+            reduce_knomial(c, k, root, &inputs[c.rank()], dtype, op)
+        });
+        for (r, o) in out.iter().enumerate() {
+            if r == root {
+                assert_eq!(
+                    o.as_ref().unwrap(),
+                    &expect,
+                    "p={p} k={k} root={root} {dtype} {op}"
+                );
+            } else {
+                assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn knomial_sum_across_shapes() {
+        for p in [1usize, 2, 3, 6, 9, 16, 17] {
+            for k in [2usize, 3, 5, 16] {
+                check(p, k, 0, 8, DType::I64, ReduceOp::Sum);
+            }
+        }
+    }
+
+    #[test]
+    fn knomial_nonzero_root() {
+        for root in 0..6 {
+            check(6, 3, root, 5, DType::I32, ReduceOp::Sum);
+        }
+    }
+
+    #[test]
+    fn knomial_every_op_and_dtype() {
+        for op in ReduceOp::ALL {
+            for dtype in DType::ALL {
+                if op.supports(dtype) {
+                    check(7, 3, 2, 6, dtype, op);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knomial_float_exact_on_small_ints() {
+        check(9, 3, 0, 16, DType::F64, ReduceOp::Sum);
+        check(8, 4, 3, 16, DType::F32, ReduceOp::Max);
+    }
+
+    #[test]
+    fn linear_matches_reference() {
+        for p in [1usize, 2, 5, 9] {
+            let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, 4, DType::U64)).collect();
+            let expect = reduce_all(DType::U64, ReduceOp::Prod, &inputs).unwrap();
+            let out = run_ranks(p, |c| {
+                reduce_linear(c, 0, &inputs[c.rank()], DType::U64, ReduceOp::Prod)
+            });
+            assert_eq!(out[0].as_ref().unwrap(), &expect);
+        }
+    }
+
+    #[test]
+    fn k_equals_p_single_round() {
+        // Flat tree: root absorbs p-1 messages in one round.
+        check(10, 10, 0, 3, DType::I32, ReduceOp::Min);
+    }
+
+    #[test]
+    fn zero_length_reduce() {
+        let out = run_ranks(4, |c| {
+            reduce_knomial(c, 2, 0, &[], DType::F64, ReduceOp::Sum)
+        });
+        assert_eq!(out[0].as_ref().unwrap().len(), 0);
+    }
+}

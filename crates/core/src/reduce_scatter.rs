@@ -1,0 +1,286 @@
+//! Reduce-scatter algorithms.
+//!
+//! * [`reduce_scatter_ring`] — runs the ring "leftward" so that after `p-1`
+//!   rounds rank `r` owns the fully reduced block `r` — the one-block
+//!   ownership offset the paper notes distinguishes the allreduce k-ring
+//!   from the allgather k-ring (§V-D).
+//! * [`reduce_scatter_recmult`] — **radix-`k` recursive vector splitting**:
+//!   MPICH's recursive *halving* is the `k = 2` case; each round splits the
+//!   active segment into `f ≤ k` parts exchanged within a group of `f`
+//!   ranks, shrinking the segment by the round's factor. Requires a
+//!   `k`-smooth rank count (the factorization defines the rounds).
+//!
+//! Blocks are split on element boundaries so reductions never straddle an
+//! element.
+
+use crate::tags;
+use crate::topo::factorize;
+use crate::util::pmod;
+use exacoll_comm::{reduce_into, Comm, CommResult, DType, ReduceOp, Req};
+
+/// Element-aligned byte range of block `i` when `n` bytes of `esize`-byte
+/// elements are split into `p` near-equal blocks.
+pub fn elem_block_range(n: usize, esize: usize, p: usize, i: usize) -> (usize, usize) {
+    debug_assert_eq!(n % esize, 0);
+    let count = n / esize;
+    (i * count / p * esize, (i + 1) * count / p * esize)
+}
+
+/// Sizes of all element-aligned blocks.
+pub fn elem_block_sizes(n: usize, esize: usize, p: usize) -> Vec<usize> {
+    (0..p)
+        .map(|i| {
+            let (s, e) = elem_block_range(n, esize, p, i);
+            e - s
+        })
+        .collect()
+}
+
+/// Ring reduce-scatter. Every rank contributes `input` (`n` bytes); rank `r`
+/// returns the fully reduced block `r` (element-aligned near-equal split).
+///
+/// Round `t`: send partial block `(r + t + 1) mod p` to the left neighbor,
+/// receive partial block `(r + t + 2) mod p` from the right, fold own
+/// contribution in. Each block accumulates contributions in descending-rank
+/// ring order, identically on every path, so results are deterministic.
+pub fn reduce_scatter_ring<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    let esize = dtype.size();
+    let range = |i: usize| elem_block_range(n, esize, p, i);
+    if p == 1 {
+        return Ok(input.to_vec());
+    }
+    let left = (me + p - 1) % p;
+    let right = (me + 1) % p;
+    let mut acc = input.to_vec();
+    for t in 0..p - 1 {
+        let send_idx = pmod(me as isize + t as isize + 1, p);
+        let recv_idx = pmod(me as isize + t as isize + 2, p);
+        let (ss, se) = range(send_idx);
+        let (rs, re) = range(recv_idx);
+        let data = acc[ss..se].to_vec();
+        let got = c.sendrecv(
+            left,
+            tags::REDUCE_SCATTER_RING,
+            data,
+            right,
+            tags::REDUCE_SCATTER_RING,
+            re - rs,
+        )?;
+        reduce_into(dtype, op, &mut acc[rs..re], &got)?;
+        c.compute(re - rs);
+    }
+    let (s, e) = range(me);
+    Ok(acc[s..e].to_vec())
+}
+
+/// Radix-`k` recursive-splitting reduce-scatter. Requires `p` to be
+/// `k`-smooth; rank `r` returns the fully reduced element-aligned block `r`.
+pub fn reduce_scatter_recmult<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    assert!(k >= 2, "radix must be at least 2");
+    let p = c.size();
+    let me = c.rank();
+    let n = input.len();
+    let esize = dtype.size();
+    let factors =
+        factorize(p, k).unwrap_or_else(|| panic!("p = {p} is not {k}-smooth"));
+    let byte_range = |blocks: (usize, usize)| {
+        let (b0, b1) = blocks;
+        let (s, _) = elem_block_range(n, esize, p, b0);
+        let e = if b1 == 0 {
+            s
+        } else {
+            elem_block_range(n, esize, p, b1 - 1).1
+        };
+        (s, e)
+    };
+    let mut acc = input.to_vec();
+    if p == 1 {
+        return Ok(acc);
+    }
+    // Active block segment [lo, lo + span): the aligned window holding me.
+    let mut span = p;
+    for (round, &f) in factors.iter().enumerate() {
+        let tag = tags::REDUCE_SCATTER_RECMULT + round as u32;
+        let lo = me / span * span;
+        let sub = span / f;
+        let d = (me - lo) / sub;
+        let offset = (me - lo) % sub;
+        // Exchange: send partner dd its part of my segment, receive my part.
+        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
+        let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(f - 1);
+        let (my_s, my_e) = byte_range((lo + d * sub, lo + (d + 1) * sub));
+        for dd in 0..f {
+            if dd == d {
+                continue;
+            }
+            let peer = lo + dd * sub + offset;
+            let (s, e) = byte_range((lo + dd * sub, lo + (dd + 1) * sub));
+            send_reqs.push(c.isend(peer, tag, acc[s..e].to_vec())?);
+            recv_reqs.push((dd, c.irecv(peer, tag, my_e - my_s)?));
+        }
+        c.waitall(send_reqs)?;
+        // Fold contributions into my part in ascending group position so
+        // every rank of the part computes identical bits.
+        let mut received: Vec<(usize, Vec<u8>)> = Vec::with_capacity(f - 1);
+        for (dd, rq) in recv_reqs {
+            received.push((dd, c.wait(rq)?.expect("recv yields payload")));
+        }
+        received.sort_by_key(|(dd, _)| *dd);
+        // Contributions in dd order, with my own partial at position d.
+        let mut folded: Option<Vec<u8>> = None;
+        let mut it = received.into_iter().peekable();
+        for dd in 0..f {
+            let buf: Vec<u8> = if dd == d {
+                acc[my_s..my_e].to_vec()
+            } else {
+                it.next().expect("one contribution per partner").1
+            };
+            match folded.as_mut() {
+                None => folded = Some(buf),
+                Some(acc2) => {
+                    reduce_into(dtype, op, acc2, &buf)?;
+                    c.compute(my_e - my_s);
+                }
+            }
+        }
+        acc[my_s..my_e].copy_from_slice(&folded.expect("group nonempty"));
+        span = sub;
+    }
+    let (s, e) = elem_block_range(n, esize, p, me);
+    Ok(acc[s..e].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::{reduce_ops::reduce_all, run_ranks, TypedBuf};
+
+    fn rank_input(rank: usize, count: usize, dtype: DType) -> Vec<u8> {
+        let vals: Vec<f64> = (0..count).map(|i| ((rank * 5 + i) % 11) as f64).collect();
+        TypedBuf::from_f64s(dtype, &vals).bytes
+    }
+
+    fn check(p: usize, count: usize, dtype: DType, op: ReduceOp) {
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, count, dtype)).collect();
+        let full = reduce_all(dtype, op, &inputs).unwrap();
+        let out = run_ranks(p, |c| reduce_scatter_ring(c, &inputs[c.rank()], dtype, op));
+        for (r, o) in out.iter().enumerate() {
+            let (s, e) = elem_block_range(count * dtype.size(), dtype.size(), p, r);
+            assert_eq!(o, &full[s..e], "p={p} rank={r} {dtype} {op}");
+        }
+    }
+
+    #[test]
+    fn blocks_align_to_elements() {
+        // 10 f64 elements over 4 ranks: 2/3/2/3 elements, all multiples of 8.
+        let sizes = elem_block_sizes(80, 8, 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 80);
+        assert!(sizes.iter().all(|s| s % 8 == 0));
+    }
+
+    #[test]
+    fn reduce_scatter_various_p() {
+        for p in [1usize, 2, 3, 5, 8, 9] {
+            check(p, 12, DType::I64, ReduceOp::Sum);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_ops_dtypes() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::BXor] {
+            for dtype in [DType::I32, DType::U64, DType::U8] {
+                check(6, 10, dtype, op);
+            }
+        }
+        check(5, 9, DType::F64, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn fewer_elements_than_ranks() {
+        // Some ranks own zero elements.
+        check(8, 3, DType::I32, ReduceOp::Min);
+    }
+
+    #[test]
+    fn zero_elements() {
+        check(4, 0, DType::F32, ReduceOp::Sum);
+    }
+
+    fn check_recmult(p: usize, k: usize, count: usize, dtype: DType, op: ReduceOp) {
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, count, dtype)).collect();
+        let full = reduce_all(dtype, op, &inputs).unwrap();
+        let out = run_ranks(p, |c| reduce_scatter_recmult(c, k, &inputs[c.rank()], dtype, op));
+        for (r, o) in out.iter().enumerate() {
+            let (s, e) = elem_block_range(count * dtype.size(), dtype.size(), p, r);
+            assert_eq!(o, &full[s..e], "recmult p={p} k={k} rank={r} {dtype} {op}");
+        }
+    }
+
+    #[test]
+    fn recursive_splitting_smooth_counts() {
+        for (p, k) in [
+            (2usize, 2usize),
+            (4, 2),
+            (8, 2),
+            (9, 3),
+            (12, 4),
+            (16, 4),
+            (27, 3),
+            (6, 6),
+            (1, 2),
+        ] {
+            check_recmult(p, k, 20, DType::I64, ReduceOp::Sum);
+        }
+    }
+
+    #[test]
+    fn recursive_splitting_ops_and_dtypes() {
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::BOr] {
+            for dtype in [DType::I32, DType::U64, DType::U8] {
+                check_recmult(8, 4, 13, dtype, op);
+            }
+        }
+        check_recmult(9, 3, 11, DType::F64, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn recursive_splitting_fewer_elements_than_ranks() {
+        check_recmult(8, 2, 3, DType::I32, ReduceOp::Max);
+        check_recmult(12, 4, 0, DType::F32, ReduceOp::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "smooth")]
+    fn recursive_splitting_rejects_nonsmooth() {
+        exacoll_comm::record_traces(7, |c| {
+            reduce_scatter_recmult(c, 2, &[0u8; 56], DType::F64, ReduceOp::Sum).map(|_| ())
+        });
+    }
+
+    #[test]
+    fn ring_and_recursive_agree() {
+        let p = 12;
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, 24, DType::I64)).collect();
+        let ring = run_ranks(p, |c| {
+            reduce_scatter_ring(c, &inputs[c.rank()], DType::I64, ReduceOp::Sum)
+        });
+        let rec = run_ranks(p, |c| {
+            reduce_scatter_recmult(c, 3, &inputs[c.rank()], DType::I64, ReduceOp::Sum)
+        });
+        assert_eq!(ring, rec);
+    }
+}

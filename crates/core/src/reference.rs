@@ -1,0 +1,148 @@
+//! Sequential reference semantics for every collective operation.
+//!
+//! Given every rank's input, compute the output every rank must produce.
+//! The integration test-suite runs each algorithm on the threaded runtime
+//! and compares against these. Reductions fold in ascending rank order;
+//! since all [`ReduceOp`]s are associative and commutative (with wrapping
+//! integer arithmetic), tree/ring algorithms agree exactly for integers,
+//! and tests use exactly-representable values for floats.
+
+use crate::registry::CollectiveOp;
+use exacoll_comm::{reduce_ops::reduce_all, CommResult, DType, Rank, ReduceOp};
+
+/// Expected per-rank outputs of `op` given all inputs.
+///
+/// Output conventions match [`crate::registry::execute`]: Bcast/Allgather/
+/// Allreduce produce data on every rank; Reduce/Gather produce data only at
+/// the root (empty vectors elsewhere).
+pub fn expected_outputs(
+    op: CollectiveOp,
+    root: Rank,
+    dtype: DType,
+    rop: ReduceOp,
+    inputs: &[Vec<u8>],
+) -> CommResult<Vec<Vec<u8>>> {
+    let p = inputs.len();
+    Ok(match op {
+        CollectiveOp::Bcast => {
+            let data = inputs[root].clone();
+            vec![data; p]
+        }
+        CollectiveOp::Reduce => {
+            let combined = reduce_all(dtype, rop, inputs)?;
+            (0..p)
+                .map(|r| if r == root { combined.clone() } else { Vec::new() })
+                .collect()
+        }
+        CollectiveOp::Gather => {
+            let all: Vec<u8> = inputs.iter().flatten().copied().collect();
+            (0..p)
+                .map(|r| if r == root { all.clone() } else { Vec::new() })
+                .collect()
+        }
+        CollectiveOp::Allgather => {
+            let all: Vec<u8> = inputs.iter().flatten().copied().collect();
+            vec![all; p]
+        }
+        CollectiveOp::Allreduce => {
+            let combined = reduce_all(dtype, rop, inputs)?;
+            vec![combined; p]
+        }
+        CollectiveOp::Barrier => vec![Vec::new(); p],
+        CollectiveOp::ReduceScatter => {
+            let combined = reduce_all(dtype, rop, inputs)?;
+            let n = inputs[0].len();
+            (0..p)
+                .map(|r| {
+                    let (s, e) =
+                        crate::reduce_scatter::elem_block_range(n, dtype.size(), p, r);
+                    combined[s..e].to_vec()
+                })
+                .collect()
+        }
+        CollectiveOp::Alltoall => {
+            let n = inputs[0].len() / p;
+            (0..p)
+                .map(|me| {
+                    (0..p)
+                        .flat_map(|i| inputs[i][me * n..(me + 1) * n].to_vec())
+                        .collect()
+                })
+                .collect()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i32s(v: &[i32]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn bcast_reference() {
+        let inputs = vec![i32s(&[1]), i32s(&[2]), i32s(&[3])];
+        let out =
+            expected_outputs(CollectiveOp::Bcast, 1, DType::I32, ReduceOp::Sum, &inputs).unwrap();
+        assert_eq!(out, vec![i32s(&[2]); 3]);
+    }
+
+    #[test]
+    fn reduce_reference_only_root() {
+        let inputs = vec![i32s(&[1, 10]), i32s(&[2, 20]), i32s(&[3, 30])];
+        let out =
+            expected_outputs(CollectiveOp::Reduce, 2, DType::I32, ReduceOp::Sum, &inputs).unwrap();
+        assert!(out[0].is_empty() && out[1].is_empty());
+        assert_eq!(out[2], i32s(&[6, 60]));
+    }
+
+    #[test]
+    fn gather_and_allgather_concatenate() {
+        let inputs = vec![i32s(&[1]), i32s(&[2])];
+        let g =
+            expected_outputs(CollectiveOp::Gather, 0, DType::I32, ReduceOp::Sum, &inputs).unwrap();
+        assert_eq!(g[0], i32s(&[1, 2]));
+        assert!(g[1].is_empty());
+        let ag = expected_outputs(
+            CollectiveOp::Allgather,
+            0,
+            DType::I32,
+            ReduceOp::Sum,
+            &inputs,
+        )
+        .unwrap();
+        assert_eq!(ag, vec![i32s(&[1, 2]); 2]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        // 2 ranks, 2 blocks of one i32 each.
+        let inputs = vec![i32s(&[11, 12]), i32s(&[21, 22])];
+        let out = expected_outputs(
+            CollectiveOp::Alltoall,
+            0,
+            DType::I32,
+            ReduceOp::Sum,
+            &inputs,
+        )
+        .unwrap();
+        assert_eq!(out[0], i32s(&[11, 21]));
+        assert_eq!(out[1], i32s(&[12, 22]));
+    }
+
+    #[test]
+    fn allreduce_everywhere() {
+        let inputs = vec![i32s(&[5]), i32s(&[7])];
+        let out = expected_outputs(
+            CollectiveOp::Allreduce,
+            0,
+            DType::I32,
+            ReduceOp::Prod,
+            &inputs,
+        )
+        .unwrap();
+        assert_eq!(out, vec![i32s(&[35]); 2]);
+    }
+}

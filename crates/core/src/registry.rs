@@ -1,0 +1,519 @@
+//! Algorithm registry: the collective/algorithm compatibility matrix
+//! (Table I), uniform dispatch, and sweep enumeration.
+
+use crate::allgather::{allgather_kernel, AllgatherKernel};
+use crate::allreduce::{
+    allreduce_hierarchical, allreduce_recmult, allreduce_reduce_bcast, allreduce_rsag,
+};
+use crate::alltoall::{alltoall_bruck, alltoall_pairwise, alltoall_spread};
+use crate::reduce_scatter::{reduce_scatter_recmult, reduce_scatter_ring};
+use crate::topo::is_smooth;
+use crate::barrier::barrier_dissemination;
+use crate::bcast::{bcast_knomial, bcast_linear, bcast_scatter_allgather};
+use crate::gather::gather_knomial;
+use crate::reduce::{reduce_knomial, reduce_linear};
+use exacoll_comm::{Comm, CommResult, DType, Rank, ReduceOp};
+use std::fmt;
+
+/// The four collectives the paper evaluates, plus gather (used by Fig. 1 and
+/// the gather+bcast allgather composite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveOp {
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Reduce`.
+    Reduce,
+    /// `MPI_Gather`.
+    Gather,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Barrier` (extension: generalized dissemination).
+    Barrier,
+    /// `MPI_Alltoall` (extension: radix-generalized Bruck, §VII's Fan et
+    /// al. direction).
+    Alltoall,
+    /// `MPI_Reduce_scatter_block` (extension: radix-generalized recursive
+    /// splitting; recursive halving is the `k = 2` case).
+    ReduceScatter,
+}
+
+impl CollectiveOp {
+    /// The four operations of Table I (the evaluation set).
+    pub const EVALUATED: [CollectiveOp; 4] = [
+        CollectiveOp::Bcast,
+        CollectiveOp::Reduce,
+        CollectiveOp::Allgather,
+        CollectiveOp::Allreduce,
+    ];
+
+    /// All operations.
+    pub const ALL: [CollectiveOp; 8] = [
+        CollectiveOp::Bcast,
+        CollectiveOp::Reduce,
+        CollectiveOp::Gather,
+        CollectiveOp::Allgather,
+        CollectiveOp::Allreduce,
+        CollectiveOp::Barrier,
+        CollectiveOp::Alltoall,
+        CollectiveOp::ReduceScatter,
+    ];
+}
+
+impl fmt::Display for CollectiveOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveOp::Bcast => "bcast",
+            CollectiveOp::Reduce => "reduce",
+            CollectiveOp::Gather => "gather",
+            CollectiveOp::Allgather => "allgather",
+            CollectiveOp::Allreduce => "allreduce",
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::Alltoall => "alltoall",
+            CollectiveOp::ReduceScatter => "reduce_scatter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A collective algorithm, possibly generalized with a radix `k`.
+///
+/// The classical baselines are the `k = 2` (trees, recursive multiplying)
+/// and ring instances; [`Algorithm::base`] maps each generalized algorithm
+/// to its fixed-radix baseline, which Fig. 7's no-slowdown experiment and
+/// Fig. 9's "default radix" speedup baseline rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Naïve root-sequential algorithm (`p(α + βn)`).
+    Linear,
+    /// K-nomial tree (`k = 2` = binomial).
+    KnomialTree {
+        /// Tree radix.
+        k: usize,
+    },
+    /// Recursive multiplying (`k = 2` = recursive doubling). For Bcast this
+    /// is the scatter + recursive-multiplying-allgather composite.
+    RecursiveMultiplying {
+        /// Per-round group size bound.
+        k: usize,
+    },
+    /// Classic neighbor ring. For Bcast: scatter + ring allgather; for
+    /// Allreduce: ring reduce-scatter + ring allgather.
+    Ring,
+    /// Generalized k-ring with group size `k`. For Bcast: scatter + k-ring
+    /// allgather; for Allreduce: ring reduce-scatter + k-ring allgather.
+    KRing {
+        /// Group size (the paper's optimal is the processes-per-node).
+        k: usize,
+    },
+    /// Bruck's allgather (baseline).
+    Bruck,
+    /// K-nomial reduce + k-nomial bcast allreduce composite.
+    ReduceBcast {
+        /// Tree radix.
+        k: usize,
+    },
+    /// K-dissemination barrier (`k = 2` = classic dissemination), the
+    /// generalization of Hoefler et al.'s n-way dissemination barrier.
+    Dissemination {
+        /// Per-round fan-out radix.
+        k: usize,
+    },
+    /// Hierarchical (SMP-aware) allreduce: flat intranode reduce, radix-`k`
+    /// recursive multiplying among node leaders, flat intranode broadcast —
+    /// the Hasanov-style structure cited as k-ring's inspiration [17].
+    Hierarchical {
+        /// Processes per node (`ppn` must divide `p`).
+        ppn: usize,
+        /// Leader-phase radix.
+        k: usize,
+    },
+    /// Pairwise-exchange alltoall: `p-1` direct exchange rounds.
+    Pairwise,
+    /// Radix-`r` Bruck alltoall (`r = 2` = Bruck's classic algorithm):
+    /// larger radixes buy less forwarding volume with more rounds.
+    GeneralizedBruck {
+        /// Digit radix.
+        r: usize,
+    },
+}
+
+impl Algorithm {
+    /// The radix parameter, if this algorithm is generalized.
+    pub fn radix(&self) -> Option<usize> {
+        match self {
+            Algorithm::KnomialTree { k }
+            | Algorithm::RecursiveMultiplying { k }
+            | Algorithm::KRing { k }
+            | Algorithm::ReduceBcast { k }
+            | Algorithm::Dissemination { k }
+            | Algorithm::Hierarchical { k, .. } => Some(*k),
+            Algorithm::GeneralizedBruck { r } => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Same kernel with a different radix (no-op for fixed algorithms).
+    pub fn with_radix(&self, k: usize) -> Algorithm {
+        match self {
+            Algorithm::KnomialTree { .. } => Algorithm::KnomialTree { k },
+            Algorithm::RecursiveMultiplying { .. } => Algorithm::RecursiveMultiplying { k },
+            Algorithm::KRing { .. } => Algorithm::KRing { k },
+            Algorithm::ReduceBcast { .. } => Algorithm::ReduceBcast { k },
+            Algorithm::Dissemination { .. } => Algorithm::Dissemination { k },
+            Algorithm::Hierarchical { ppn, .. } => Algorithm::Hierarchical { ppn: *ppn, k },
+            Algorithm::GeneralizedBruck { .. } => Algorithm::GeneralizedBruck { r: k },
+            other => *other,
+        }
+    }
+
+    /// The non-generalized baseline of this kernel: binomial for k-nomial,
+    /// recursive doubling for recursive multiplying, ring for k-ring.
+    pub fn base(&self) -> Algorithm {
+        match self {
+            Algorithm::KnomialTree { .. } => Algorithm::KnomialTree { k: 2 },
+            Algorithm::RecursiveMultiplying { .. } => Algorithm::RecursiveMultiplying { k: 2 },
+            Algorithm::KRing { .. } => Algorithm::Ring,
+            Algorithm::ReduceBcast { .. } => Algorithm::ReduceBcast { k: 2 },
+            Algorithm::Dissemination { .. } => Algorithm::Dissemination { k: 2 },
+            // The hierarchy's flat comparator is recursive doubling.
+            Algorithm::Hierarchical { .. } => Algorithm::RecursiveMultiplying { k: 2 },
+            Algorithm::GeneralizedBruck { .. } => Algorithm::GeneralizedBruck { r: 2 },
+            other => *other,
+        }
+    }
+
+    /// Whether `self` may run `op` on `p` ranks; `Err` explains why not.
+    pub fn supports(&self, op: CollectiveOp, p: usize) -> Result<(), String> {
+        use Algorithm::*;
+        use CollectiveOp::*;
+        if p == 0 {
+            return Err("empty communicator".into());
+        }
+        let ok_ops: &[CollectiveOp] = match self {
+            // For Alltoall, `Linear` is the spread-out (post-everything)
+            // algorithm, MPICH's isend_irecv.
+            Linear => &[Bcast, Reduce, Alltoall],
+            KnomialTree { .. } => &[Bcast, Reduce, Gather, Allgather],
+            RecursiveMultiplying { .. } => &[Bcast, Allgather, Allreduce, ReduceScatter],
+            Ring => &[Bcast, Allgather, Allreduce, ReduceScatter],
+            KRing { .. } => &[Bcast, Allgather, Allreduce],
+            Bruck => &[Allgather],
+            ReduceBcast { .. } => &[Allreduce],
+            Dissemination { .. } => &[Barrier],
+            Hierarchical { .. } => &[Allreduce],
+            Pairwise => &[Alltoall],
+            GeneralizedBruck { .. } => &[Alltoall],
+        };
+        if !ok_ops.contains(&op) {
+            return Err(format!("{self} does not implement {op}"));
+        }
+        match self {
+            KnomialTree { k } | RecursiveMultiplying { k } | ReduceBcast { k }
+            | Dissemination { k }
+                if *k < 2 =>
+            {
+                Err(format!("radix {k} < 2"))
+            }
+            GeneralizedBruck { r } if *r < 2 => Err(format!("radix {r} < 2")),
+            RecursiveMultiplying { k } if op == ReduceScatter && !is_smooth(p, *k) => Err(
+                format!("recursive-splitting reduce-scatter needs a {k}-smooth p, got {p}"),
+            ),
+            KRing { k } if *k < 1 => Err("k-ring group size must be >= 1".into()),
+            KRing { k } if *k > p => {
+                Err(format!("k-ring group size {k} exceeds p = {p}"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether the algorithm benefits from radix tuning (a paper
+    /// contribution) as opposed to being a fixed baseline.
+    pub fn is_generalized(&self) -> bool {
+        self.radix().is_some()
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Linear => write!(f, "linear"),
+            Algorithm::KnomialTree { k } => write!(f, "knomial({k})"),
+            Algorithm::RecursiveMultiplying { k } => write!(f, "recmult({k})"),
+            Algorithm::Ring => write!(f, "ring"),
+            Algorithm::KRing { k } => write!(f, "kring({k})"),
+            Algorithm::Bruck => write!(f, "bruck"),
+            Algorithm::ReduceBcast { k } => write!(f, "reduce+bcast({k})"),
+            Algorithm::Dissemination { k } => write!(f, "dissemination({k})"),
+            Algorithm::Hierarchical { ppn, k } => write!(f, "hier({ppn},{k})"),
+            Algorithm::Pairwise => write!(f, "pairwise"),
+            Algorithm::GeneralizedBruck { r } => write!(f, "gbruck({r})"),
+        }
+    }
+}
+
+/// Full description of one collective invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollArgs {
+    /// Which collective.
+    pub op: CollectiveOp,
+    /// Which algorithm.
+    pub alg: Algorithm,
+    /// Root rank (bcast/reduce/gather; ignored otherwise).
+    pub root: Rank,
+    /// Element datatype (reductions).
+    pub dtype: DType,
+    /// Reduction operator (reductions).
+    pub rop: ReduceOp,
+}
+
+impl CollArgs {
+    /// Convenience constructor with root 0, byte elements, sum.
+    pub fn new(op: CollectiveOp, alg: Algorithm) -> Self {
+        CollArgs {
+            op,
+            alg,
+            root: 0,
+            dtype: DType::U8,
+            rop: ReduceOp::Sum,
+        }
+    }
+}
+
+/// Run one collective. Input/output conventions:
+///
+/// | op        | input (`n` bytes each rank)           | output                              |
+/// |-----------|----------------------------------------|-------------------------------------|
+/// | Bcast     | payload at root, ignored elsewhere     | the payload, every rank             |
+/// | Reduce    | contribution                           | reduction at root, empty elsewhere  |
+/// | Gather    | own block                              | `p·n` at root, empty elsewhere      |
+/// | Allgather | own block                              | `p·n`, every rank                   |
+/// | Allreduce | contribution                           | reduction, every rank               |
+/// | Barrier   | ignored                                | empty, after synchronization        |
+/// | Alltoall  | `p` blocks of `n/p` bytes              | received blocks in source order     |
+/// | ReduceScatter | contribution                       | own reduced block (element-aligned) |
+pub fn execute<C: Comm>(c: &mut C, args: &CollArgs, input: &[u8]) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    args.alg
+        .supports(args.op, p)
+        .unwrap_or_else(|e| panic!("unsupported configuration: {e}"));
+    let n = input.len();
+    let root = args.root;
+    let at_root = me == root;
+    match args.op {
+        CollectiveOp::Bcast => {
+            let data = at_root.then_some(input);
+            match args.alg {
+                Algorithm::Linear => bcast_linear(c, root, data, n),
+                Algorithm::KnomialTree { k } => bcast_knomial(c, k, root, data, n),
+                Algorithm::RecursiveMultiplying { k } => bcast_scatter_allgather(
+                    c,
+                    AllgatherKernel::RecursiveMultiplying { k },
+                    root,
+                    data,
+                    n,
+                ),
+                Algorithm::Ring => {
+                    bcast_scatter_allgather(c, AllgatherKernel::Ring, root, data, n)
+                }
+                Algorithm::KRing { k } => {
+                    bcast_scatter_allgather(c, AllgatherKernel::KRing { k }, root, data, n)
+                }
+                _ => unreachable!("guarded by supports()"),
+            }
+        }
+        CollectiveOp::Reduce => {
+            let out = match args.alg {
+                Algorithm::Linear => reduce_linear(c, root, input, args.dtype, args.rop)?,
+                Algorithm::KnomialTree { k } => {
+                    reduce_knomial(c, k, root, input, args.dtype, args.rop)?
+                }
+                _ => unreachable!("guarded by supports()"),
+            };
+            Ok(out.unwrap_or_default())
+        }
+        CollectiveOp::Gather => {
+            let out = match args.alg {
+                Algorithm::KnomialTree { k } => gather_knomial(c, k, root, input)?,
+                _ => unreachable!("guarded by supports()"),
+            };
+            Ok(out.unwrap_or_default())
+        }
+        CollectiveOp::Allgather => {
+            let sizes = vec![n; p];
+            let kernel = match args.alg {
+                Algorithm::KnomialTree { k } => AllgatherKernel::GatherBcast { k },
+                Algorithm::RecursiveMultiplying { k } => {
+                    AllgatherKernel::RecursiveMultiplying { k }
+                }
+                Algorithm::Ring => AllgatherKernel::Ring,
+                Algorithm::KRing { k } => AllgatherKernel::KRing { k },
+                Algorithm::Bruck => AllgatherKernel::Bruck,
+                _ => unreachable!("guarded by supports()"),
+            };
+            allgather_kernel(c, kernel, input, &sizes)
+        }
+        CollectiveOp::ReduceScatter => match args.alg {
+            Algorithm::Ring => reduce_scatter_ring(c, input, args.dtype, args.rop),
+            Algorithm::RecursiveMultiplying { k } => {
+                reduce_scatter_recmult(c, k, input, args.dtype, args.rop)
+            }
+            _ => unreachable!("guarded by supports()"),
+        },
+        CollectiveOp::Alltoall => match args.alg {
+            Algorithm::Linear => alltoall_spread(c, input),
+            Algorithm::Pairwise => alltoall_pairwise(c, input),
+            Algorithm::GeneralizedBruck { r } => alltoall_bruck(c, r, input),
+            _ => unreachable!("guarded by supports()"),
+        },
+        CollectiveOp::Barrier => match args.alg {
+            Algorithm::Dissemination { k } => {
+                barrier_dissemination(c, k)?;
+                Ok(Vec::new())
+            }
+            _ => unreachable!("guarded by supports()"),
+        },
+        CollectiveOp::Allreduce => match args.alg {
+            Algorithm::RecursiveMultiplying { k } => {
+                allreduce_recmult(c, k, input, args.dtype, args.rop)
+            }
+            Algorithm::Ring => {
+                allreduce_rsag(c, AllgatherKernel::Ring, input, args.dtype, args.rop)
+            }
+            Algorithm::KRing { k } => {
+                allreduce_rsag(c, AllgatherKernel::KRing { k }, input, args.dtype, args.rop)
+            }
+            Algorithm::ReduceBcast { k } => {
+                allreduce_reduce_bcast(c, k, input, args.dtype, args.rop)
+            }
+            Algorithm::Hierarchical { ppn, k } => {
+                allreduce_hierarchical(c, ppn, k, input, args.dtype, args.rop)
+            }
+            _ => unreachable!("guarded by supports()"),
+        },
+    }
+}
+
+/// Table I: for each generalized kernel, the collectives it implements.
+/// Returns rows of (base kernel, generalized kernel, collectives).
+pub fn table_i() -> Vec<(&'static str, &'static str, Vec<CollectiveOp>)> {
+    use CollectiveOp::*;
+    vec![
+        ("binomial", "k-nomial", vec![Reduce, Bcast, Gather, Allgather]),
+        (
+            "recursive doubling",
+            "recursive multiplying",
+            vec![Bcast, Allgather, Allreduce],
+        ),
+        ("ring", "k-ring", vec![Bcast, Allgather, Allreduce]),
+    ]
+}
+
+/// All algorithm candidates for `op` on `p` ranks with radixes up to
+/// `max_k`, for exhaustive sweeps (§VI-G's selection-table generation).
+pub fn candidates(op: CollectiveOp, p: usize, max_k: usize) -> Vec<Algorithm> {
+    let mut out = Vec::new();
+    let radixes: Vec<usize> = (2..=max_k.min(p.max(2))).collect();
+    let mut push = |a: Algorithm| {
+        if a.supports(op, p).is_ok() {
+            out.push(a);
+        }
+    };
+    push(Algorithm::Linear);
+    push(Algorithm::Ring);
+    push(Algorithm::Bruck);
+    push(Algorithm::Pairwise);
+    for &k in &radixes {
+        push(Algorithm::KnomialTree { k });
+        push(Algorithm::RecursiveMultiplying { k });
+        push(Algorithm::KRing { k });
+        push(Algorithm::ReduceBcast { k });
+        push(Algorithm::Dissemination { k });
+        push(Algorithm::GeneralizedBruck { r: k });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supports_matrix() {
+        use Algorithm::*;
+        use CollectiveOp::*;
+        assert!(KnomialTree { k: 2 }.supports(Reduce, 8).is_ok());
+        assert!(KnomialTree { k: 2 }.supports(Allreduce, 8).is_err());
+        assert!(RecursiveMultiplying { k: 4 }.supports(Allreduce, 7).is_ok());
+        assert!(RecursiveMultiplying { k: 1 }.supports(Allreduce, 7).is_err());
+        assert!(Ring.supports(Bcast, 5).is_ok());
+        assert!(Ring.supports(Reduce, 5).is_err());
+        assert!(KRing { k: 4 }.supports(Allgather, 8).is_ok());
+        // Non-divisible group sizes run the non-uniform variant.
+        assert!(KRing { k: 3 }.supports(Allgather, 8).is_ok());
+        assert!(KRing { k: 9 }.supports(Allgather, 8).is_err());
+        assert!(Bruck.supports(Allgather, 9).is_ok());
+        assert!(Bruck.supports(Bcast, 9).is_err());
+        assert!(Linear.supports(Bcast, 3).is_ok());
+        assert!(ReduceBcast { k: 3 }.supports(Allreduce, 9).is_ok());
+    }
+
+    #[test]
+    fn base_mapping() {
+        assert_eq!(
+            Algorithm::KnomialTree { k: 9 }.base(),
+            Algorithm::KnomialTree { k: 2 }
+        );
+        assert_eq!(
+            Algorithm::RecursiveMultiplying { k: 4 }.base(),
+            Algorithm::RecursiveMultiplying { k: 2 }
+        );
+        assert_eq!(Algorithm::KRing { k: 8 }.base(), Algorithm::Ring);
+        assert_eq!(Algorithm::Ring.base(), Algorithm::Ring);
+    }
+
+    #[test]
+    fn radix_accessors() {
+        assert_eq!(Algorithm::KnomialTree { k: 7 }.radix(), Some(7));
+        assert_eq!(Algorithm::Ring.radix(), None);
+        assert_eq!(
+            Algorithm::KRing { k: 2 }.with_radix(8),
+            Algorithm::KRing { k: 8 }
+        );
+        assert!(Algorithm::KnomialTree { k: 2 }.is_generalized());
+        assert!(!Algorithm::Bruck.is_generalized());
+    }
+
+    #[test]
+    fn table_i_has_ten_entries() {
+        // Table I: 4 + 3 + 3 = 10 generalized algorithm implementations.
+        let total: usize = table_i().iter().map(|(_, _, ops)| ops.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn candidates_are_supported_and_nonempty() {
+        for op in CollectiveOp::ALL {
+            for p in [2usize, 7, 8, 12] {
+                let cands = candidates(op, p, 8);
+                assert!(!cands.is_empty(), "{op} p={p}");
+                for a in cands {
+                    assert!(a.supports(op, p).is_ok(), "{a} {op} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Algorithm::KnomialTree { k: 4 }.to_string(), "knomial(4)");
+        assert_eq!(
+            Algorithm::RecursiveMultiplying { k: 2 }.to_string(),
+            "recmult(2)"
+        );
+        assert_eq!(Algorithm::KRing { k: 8 }.to_string(), "kring(8)");
+        assert_eq!(CollectiveOp::Allreduce.to_string(), "allreduce");
+    }
+}

@@ -1,0 +1,114 @@
+//! Scatter over the k-nomial tree — the first phase of the large-message
+//! "scatter-allgather" broadcast (§V-C).
+//!
+//! The root splits an `n`-byte payload into `p` near-equal blocks, block `i`
+//! destined for *real* rank `i` ([`crate::util::block_range`]). The tree
+//! operates on virtual ranks, so the buffer an internal node handles is the
+//! concatenation, in vrank order, of the (unequal) real-rank blocks of its
+//! contiguous vrank subtree span.
+
+use crate::tags;
+use crate::topo::KnomialTree;
+use crate::util::{block_len, block_range};
+use exacoll_comm::{Comm, CommResult, Rank, Req};
+
+/// K-nomial scatter of `n` bytes. `input` must be `Some` at the root; every
+/// rank returns its own block (`block_range(n, p, rank)`).
+pub fn scatter_knomial<C: Comm>(
+    c: &mut C,
+    k: usize,
+    root: Rank,
+    input: Option<&[u8]>,
+    n: usize,
+) -> CommResult<Vec<u8>> {
+    let p = c.size();
+    let me = c.rank();
+    if p == 1 {
+        return Ok(input.expect("root provides data").to_vec());
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    // Size of the block belonging to virtual rank x.
+    let vsize = |x: usize| block_len(n, p, t.unvrank(x, root));
+    // Byte length of the contiguous vrank span [a, b).
+    let span_bytes = |a: usize, b: usize| (a..b).map(vsize).sum::<usize>();
+
+    let span = t.subtree_size(v);
+    let buf: Vec<u8> = if v == 0 {
+        // Root reorders the payload into vrank order.
+        let data = input.expect("root provides data");
+        assert_eq!(data.len(), n, "root payload must be n bytes");
+        let mut b = Vec::with_capacity(n);
+        for x in 0..p {
+            let (s, e) = block_range(n, p, t.unvrank(x, root));
+            b.extend_from_slice(&data[s..e]);
+        }
+        b
+    } else {
+        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
+        c.recv(parent, tags::SCATTER_TREE, span_bytes(v, v + span))?
+    };
+
+    // Forward each child its subtree's slice; deepest subtrees first.
+    let reqs: Vec<Req> = t
+        .children(v)
+        .into_iter()
+        .map(|ch| {
+            let off = span_bytes(v, ch);
+            let len = span_bytes(ch, ch + t.subtree_size(ch));
+            c.isend(
+                t.unvrank(ch, root),
+                tags::SCATTER_TREE,
+                buf[off..off + len].to_vec(),
+            )
+        })
+        .collect::<CommResult<_>>()?;
+    c.waitall(reqs)?;
+    Ok(buf[..vsize(v)].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn check(p: usize, k: usize, root: usize, n: usize) {
+        let data: Vec<u8> = (0..n).map(|i| (i * 13 + 1) as u8).collect();
+        let out = run_ranks(p, |c| {
+            let input = (c.rank() == root).then_some(&data[..]);
+            scatter_knomial(c, k, root, input, n)
+        });
+        for (r, o) in out.iter().enumerate() {
+            let (s, e) = block_range(n, p, r);
+            assert_eq!(o, &data[s..e], "p={p} k={k} root={root} rank={r}");
+        }
+    }
+
+    #[test]
+    fn scatter_shapes() {
+        for p in [1usize, 2, 3, 6, 8, 9, 16, 17] {
+            for k in [2usize, 3, 4] {
+                check(p, k, 0, 103);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_rotated_roots() {
+        for root in 0..9 {
+            check(9, 3, root, 55);
+        }
+    }
+
+    #[test]
+    fn scatter_payload_smaller_than_p() {
+        // n < p: some ranks get zero bytes.
+        check(8, 2, 0, 5);
+        check(8, 2, 3, 0);
+    }
+
+    #[test]
+    fn scatter_uneven_blocks() {
+        check(7, 4, 2, 100); // 100 / 7 leaves remainders
+    }
+}

@@ -1,0 +1,46 @@
+//! Message-tag allocation.
+//!
+//! Each collective phase gets its own tag base so that composed algorithms
+//! (e.g. scatter + allgather broadcast, reduce-scatter + allgather
+//! allreduce) can never mis-match messages across phases. Within a phase,
+//! rounds may share the base tag: both backends guarantee non-overtaking
+//! delivery per (source, destination, tag), mirroring MPI ordering.
+
+use exacoll_comm::Tag;
+
+/// K-nomial / binomial tree broadcast.
+pub const BCAST_TREE: Tag = 0x0100;
+/// Linear broadcast.
+pub const BCAST_LINEAR: Tag = 0x0110;
+/// K-nomial / binomial tree reduce.
+pub const REDUCE_TREE: Tag = 0x0200;
+/// Linear reduce.
+pub const REDUCE_LINEAR: Tag = 0x0210;
+/// K-nomial gather.
+pub const GATHER_TREE: Tag = 0x0300;
+/// K-nomial scatter (also the scatter phase of scatter-allgather bcast).
+pub const SCATTER_TREE: Tag = 0x0400;
+/// Recursive multiplying allgather rounds.
+pub const ALLGATHER_RECMULT: Tag = 0x0500;
+/// Fold/unfold pre/post phases for non-factorable process counts.
+pub const FOLD: Tag = 0x0510;
+/// Ring allgather rounds.
+pub const ALLGATHER_RING: Tag = 0x0600;
+/// K-ring allgather intra-group rounds.
+pub const ALLGATHER_KRING_INTRA: Tag = 0x0700;
+/// K-ring allgather inter-group rounds.
+pub const ALLGATHER_KRING_INTER: Tag = 0x0710;
+/// Bruck allgather rounds.
+pub const ALLGATHER_BRUCK: Tag = 0x0800;
+/// Recursive multiplying allreduce rounds.
+pub const ALLREDUCE_RECMULT: Tag = 0x0900;
+/// Ring reduce-scatter rounds.
+pub const REDUCE_SCATTER_RING: Tag = 0x0a00;
+/// Hierarchical allreduce: intranode reduce phase.
+pub const HIER_REDUCE: Tag = 0x0b00;
+/// Hierarchical allreduce: intranode broadcast phase.
+pub const HIER_BCAST: Tag = 0x0b10;
+/// K-dissemination barrier rounds.
+pub const BARRIER: Tag = 0x0c00;
+/// Recursive-splitting reduce-scatter rounds.
+pub const REDUCE_SCATTER_RECMULT: Tag = 0x0e00;

@@ -1,0 +1,7 @@
+//! Communication topologies: k-nomial trees and mixed-radix factorizations.
+
+pub mod factor;
+pub mod knomial;
+
+pub use factor::{factorize, is_smooth, largest_smooth_leq};
+pub use knomial::KnomialTree;

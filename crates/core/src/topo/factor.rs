@@ -1,0 +1,124 @@
+//! Mixed-radix factorization for recursive multiplying (§IV).
+//!
+//! Recursive multiplying with radix `k` runs one exchange round per factor
+//! of `p`, each factor at most `k`. A process count factors exactly when it
+//! is `k`-smooth (all prime factors ≤ `k`); non-smooth counts are handled by
+//! the fold/unfold pre/post phases (the "non-uniform group sizes" corner
+//! cases §VI-A calls the largest implementation burden).
+
+/// Whether every prime factor of `p` is at most `k`.
+pub fn is_smooth(p: usize, k: usize) -> bool {
+    if p == 0 {
+        return false;
+    }
+    let mut rem = p;
+    let mut f = 2;
+    while f * f <= rem {
+        while rem.is_multiple_of(f) {
+            if f > k {
+                return false;
+            }
+            rem /= f;
+        }
+        f += 1;
+    }
+    rem == 1 || rem <= k
+}
+
+/// Factor `p` into round sizes `2..=k`, largest factors first (fewest
+/// rounds). Returns `None` when `p` is not `k`-smooth. `p = 1` factors into
+/// the empty product.
+pub fn factorize(p: usize, k: usize) -> Option<Vec<usize>> {
+    assert!(k >= 2, "radix must be at least 2");
+    if p == 0 {
+        return None;
+    }
+    let mut rem = p;
+    let mut factors = Vec::new();
+    while rem > 1 {
+        // Largest divisor of `rem` that is <= k.
+        let f = (2..=k.min(rem)).rev().find(|&f| rem.is_multiple_of(f))?;
+        factors.push(f);
+        rem /= f;
+    }
+    Some(factors)
+}
+
+/// The largest `k`-smooth integer `<= p` (at least 1). The recursive
+/// multiplying fold phase shrinks the active set to this size.
+pub fn largest_smooth_leq(p: usize, k: usize) -> usize {
+    assert!(p >= 1);
+    (1..=p).rev().find(|&q| is_smooth(q, k)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn smoothness_basics() {
+        assert!(is_smooth(1, 2));
+        assert!(is_smooth(8, 2));
+        assert!(!is_smooth(6, 2));
+        assert!(is_smooth(6, 3));
+        assert!(is_smooth(12, 4));
+        assert!(!is_smooth(14, 4)); // 7 > 4
+        assert!(is_smooth(7, 7));
+        assert!(!is_smooth(0, 4));
+    }
+
+    #[test]
+    fn factorize_examples() {
+        assert_eq!(factorize(1, 4), Some(vec![]));
+        assert_eq!(factorize(8, 2), Some(vec![2, 2, 2]));
+        assert_eq!(factorize(9, 3), Some(vec![3, 3])); // Fig. 4: p=9, k=3
+        assert_eq!(factorize(128, 4), Some(vec![4, 4, 4, 2]));
+        assert_eq!(factorize(12, 4), Some(vec![4, 3]));
+        assert_eq!(factorize(7, 4), None); // prime > k
+        assert_eq!(factorize(14, 4), None);
+    }
+
+    #[test]
+    fn radix_5_on_power_of_two_degrades_to_4() {
+        // §VI-C: for p = 128, "optimal" k=5 cannot divide 2^7, so the rounds
+        // are the same as k=4 — the paper notes the k=5 win is noise.
+        assert_eq!(factorize(128, 5), factorize(128, 4));
+    }
+
+    #[test]
+    fn largest_smooth_examples() {
+        assert_eq!(largest_smooth_leq(7, 2), 4);
+        assert_eq!(largest_smooth_leq(7, 4), 6);
+        assert_eq!(largest_smooth_leq(100, 4), 96);
+        assert_eq!(largest_smooth_leq(1, 2), 1);
+        assert_eq!(largest_smooth_leq(13, 13), 13);
+    }
+
+    proptest! {
+        /// Factorization multiplies back to p with all factors in 2..=k.
+        #[test]
+        fn factors_multiply_back(p in 1usize..4000, k in 2usize..16) {
+            if let Some(fs) = factorize(p, k) {
+                prop_assert!(fs.iter().all(|&f| (2..=k).contains(&f)));
+                prop_assert_eq!(fs.iter().product::<usize>(), p.max(1));
+                // Largest-first ordering.
+                prop_assert!(fs.windows(2).all(|w| w[0] >= w[1]));
+            } else {
+                prop_assert!(!is_smooth(p, k));
+            }
+        }
+
+        /// Smooth numbers always factor; the fold target always factors.
+        #[test]
+        fn smooth_iff_factors(p in 1usize..2000, k in 2usize..10) {
+            prop_assert_eq!(is_smooth(p, k), factorize(p, k).is_some());
+            let q = largest_smooth_leq(p, k);
+            prop_assert!(q <= p && q >= 1);
+            prop_assert!(is_smooth(q, k));
+            // The fold never removes more than half the ranks (a power of
+            // two always sits in [p/2, p]).
+            prop_assert!(q * 2 > p);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! K-nomial tree structure (§III of the paper).
+//!
+//! A k-nomial tree over `p` virtual ranks generalizes the binomial tree: in
+//! a full tree of `d = ceil(log_k p)` digits, the parent of a nonzero vrank
+//! is obtained by zeroing its lowest nonzero base-`k` digit, and a vrank's
+//! children are formed by setting one zero digit *below* its own lowest
+//! nonzero digit to `1..k`. With `k = 2` this is exactly the binomial tree
+//! (Fig. 1); Fig. 2's trinomial tree is `k = 3`.
+//!
+//! Trees operate on *virtual* ranks `v = (rank - root) mod p` so any root is
+//! supported by rotation, as in MPICH.
+//!
+//! The subtree rooted at vrank `v` covers the contiguous vrank range
+//! `[v, min(v + k^level(v), p))`, which gather/scatter exploit to move
+//! contiguous buffers.
+
+use exacoll_comm::Rank;
+
+/// A k-nomial tree over `p` virtual ranks with radix `k >= 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnomialTree {
+    /// Number of ranks.
+    pub p: usize,
+    /// Radix (`k = 2` is binomial).
+    pub k: usize,
+}
+
+impl KnomialTree {
+    /// Create a tree; panics unless `p >= 1` and `k >= 2`.
+    pub fn new(p: usize, k: usize) -> Self {
+        assert!(p >= 1, "tree needs at least one rank");
+        assert!(k >= 2, "k-nomial radix must be at least 2, got {k}");
+        KnomialTree { p, k }
+    }
+
+    /// Tree depth: number of base-`k` digit positions needed for `p` vranks
+    /// (`ceil(log_k p)`), i.e. the number of communication rounds.
+    pub fn depth(&self) -> usize {
+        let mut d = 0;
+        let mut span = 1usize;
+        while span < self.p {
+            span = span.saturating_mul(self.k);
+            d += 1;
+        }
+        d
+    }
+
+    /// The level of `v`: the digit position of its lowest nonzero base-`k`
+    /// digit, or [`Self::depth`] for the root (vrank 0).
+    pub fn level(&self, v: Rank) -> usize {
+        debug_assert!(v < self.p);
+        if v == 0 {
+            return self.depth();
+        }
+        let mut lvl = 0;
+        let mut x = v;
+        while x.is_multiple_of(self.k) {
+            x /= self.k;
+            lvl += 1;
+        }
+        lvl
+    }
+
+    /// Parent of `v` in the tree, `None` for the root.
+    pub fn parent(&self, v: Rank) -> Option<Rank> {
+        debug_assert!(v < self.p);
+        if v == 0 {
+            return None;
+        }
+        let lvl = self.level(v);
+        let stride = self.k.pow(lvl as u32);
+        let digit = (v / stride) % self.k;
+        Some(v - digit * stride)
+    }
+
+    /// Children of `v`, ordered from the *highest* level (largest subtree)
+    /// down — the order MPICH initiates sends so deep subtrees start first.
+    pub fn children(&self, v: Rank) -> Vec<Rank> {
+        debug_assert!(v < self.p);
+        let mut out = Vec::new();
+        let top = self.level(v);
+        for lvl in (0..top).rev() {
+            let stride = self.k.pow(lvl as u32);
+            for d in 1..self.k {
+                let c = v + d * stride;
+                if c < self.p {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the subtree rooted at `v` (contiguous vrank span, clipped to
+    /// `p`).
+    pub fn subtree_size(&self, v: Rank) -> usize {
+        let span = self.k.pow(self.level(v) as u32);
+        span.min(self.p - v)
+    }
+
+    /// Map a real rank to its virtual rank for the given root.
+    #[inline]
+    pub fn vrank(&self, rank: Rank, root: Rank) -> Rank {
+        (rank + self.p - root) % self.p
+    }
+
+    /// Map a virtual rank back to the real rank for the given root.
+    #[inline]
+    pub fn unvrank(&self, v: Rank, root: Rank) -> Rank {
+        (v + root) % self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_matches_fig1() {
+        // Fig. 1: binomial gather on 6 processes (tree for p = 6, k = 2):
+        // 0 <- {4, 2, 1}; 2 <- {3}; 4 <- {5}.
+        let t = KnomialTree::new(6, 2);
+        assert_eq!(t.children(0), vec![4, 2, 1]);
+        assert_eq!(t.children(2), vec![3]);
+        assert_eq!(t.children(4), vec![5]);
+        assert_eq!(t.children(1), Vec::<usize>::new());
+        assert_eq!(t.parent(5), Some(4));
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.parent(4), Some(0));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn trinomial_matches_fig2() {
+        // Fig. 2: trinomial (k = 3) on 9 processes:
+        // 0 <- {3, 6, 1, 2}; 3 <- {4, 5}; 6 <- {7, 8}.
+        let t = KnomialTree::new(9, 3);
+        assert_eq!(t.children(0), vec![3, 6, 1, 2]);
+        assert_eq!(t.children(3), vec![4, 5]);
+        assert_eq!(t.children(6), vec![7, 8]);
+        assert_eq!(t.depth(), 2);
+        // On only 6 processes the placeholders 6..8 disappear.
+        let t = KnomialTree::new(6, 3);
+        assert_eq!(t.children(0), vec![3, 1, 2]);
+        assert_eq!(t.children(3), vec![4, 5]);
+    }
+
+    #[test]
+    fn trinomial_depth_beats_binomial() {
+        // §III-C: a trinomial tree holds 9 nodes at depth 2 while a binomial
+        // tree needs depth 4 for 9 nodes.
+        assert_eq!(KnomialTree::new(9, 3).depth(), 2);
+        assert_eq!(KnomialTree::new(9, 2).depth(), 4);
+    }
+
+    #[test]
+    fn k_equals_p_is_flat() {
+        let t = KnomialTree::new(7, 7);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.children(0), vec![1, 2, 3, 4, 5, 6]);
+        for v in 1..7 {
+            assert_eq!(t.parent(v), Some(0));
+            assert!(t.children(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_are_contiguous_spans() {
+        let t = KnomialTree::new(9, 3);
+        assert_eq!(t.subtree_size(0), 9);
+        assert_eq!(t.subtree_size(3), 3);
+        assert_eq!(t.subtree_size(6), 3);
+        assert_eq!(t.subtree_size(1), 1);
+        // Clipped when p is not a power of k.
+        let t = KnomialTree::new(8, 3);
+        assert_eq!(t.subtree_size(6), 2);
+    }
+
+    #[test]
+    fn vrank_rotation_roundtrips() {
+        let t = KnomialTree::new(10, 3);
+        for root in 0..10 {
+            for r in 0..10 {
+                assert_eq!(t.unvrank(t.vrank(r, root), root), r);
+            }
+            assert_eq!(t.vrank(root, root), 0);
+        }
+    }
+
+    #[test]
+    fn single_rank_tree() {
+        let t = KnomialTree::new(1, 2);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.parent(0), None);
+        assert!(t.children(0).is_empty());
+        assert_eq!(t.subtree_size(0), 1);
+    }
+
+    proptest! {
+        /// The parent/children relations are mutually consistent and the
+        /// tree spans all p vranks exactly once.
+        #[test]
+        fn tree_is_spanning(p in 1usize..200, k in 2usize..12) {
+            let t = KnomialTree::new(p, k);
+            // Every non-root has exactly one parent that lists it as a child.
+            let mut reached = vec![false; p];
+            reached[0] = true;
+            let mut count = 1;
+            for v in 1..p {
+                let par = t.parent(v).expect("non-root has parent");
+                prop_assert!(par < v, "parent {par} must precede child {v}");
+                prop_assert!(
+                    t.children(par).contains(&v),
+                    "parent {par} must list child {v}"
+                );
+                prop_assert!(!reached[v]);
+                reached[v] = true;
+                count += 1;
+            }
+            prop_assert_eq!(count, p);
+        }
+
+        /// Depth matches ceil(log_k p) and bounds every vrank's level.
+        #[test]
+        fn depth_is_log(p in 1usize..5000, k in 2usize..16) {
+            let t = KnomialTree::new(p, k);
+            let d = t.depth();
+            if d > 0 {
+                prop_assert!(k.pow((d - 1) as u32) < p);
+            }
+            prop_assert!(k.checked_pow(d as u32).map(|x| x >= p).unwrap_or(true));
+            for v in 0..p.min(64) {
+                prop_assert!(t.level(v) <= d);
+            }
+        }
+
+        /// Subtrees tile: the children's spans plus the node itself cover
+        /// the node's span without overlap.
+        #[test]
+        fn subtrees_tile(p in 1usize..150, k in 2usize..8) {
+            let t = KnomialTree::new(p, k);
+            for v in 0..p {
+                let total: usize = t.children(v).iter().map(|&c| t.subtree_size(c)).sum();
+                prop_assert_eq!(total + 1, t.subtree_size(v), "node {}", v);
+            }
+        }
+    }
+}

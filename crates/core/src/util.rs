@@ -1,0 +1,86 @@
+//! Shared helpers: block partitioning for scatter/allgather-style layouts.
+
+/// Byte range `[start, end)` of block `i` when `n` bytes are split into `p`
+/// near-equal blocks (MPICH's convention: block `i` spans
+/// `[i*n/p, (i+1)*n/p)`, so remainders spread evenly and blocks never
+/// differ by more than one byte-quantum).
+#[inline]
+pub fn block_range(n: usize, p: usize, i: usize) -> (usize, usize) {
+    debug_assert!(i < p, "block index {i} out of {p}");
+    (i * n / p, (i + 1) * n / p)
+}
+
+/// Length of block `i` under [`block_range`].
+#[inline]
+pub fn block_len(n: usize, p: usize, i: usize) -> usize {
+    let (s, e) = block_range(n, p, i);
+    e - s
+}
+
+/// Offsets of a sequence of blocks with the given sizes: returns the start
+/// offset of each block plus the total as a final element.
+pub fn prefix_offsets(sizes: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &s in sizes {
+        acc += s;
+        out.push(acc);
+    }
+    out
+}
+
+/// Euclidean-style positive modulo for ring arithmetic on isize distances.
+#[inline]
+pub fn pmod(a: isize, m: usize) -> usize {
+    let m = m as isize;
+    (((a % m) + m) % m) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 1000, 1 << 20] {
+            for p in [1usize, 2, 3, 7, 8, 13] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..p {
+                    let (s, e) = block_range(n, p, i);
+                    assert_eq!(s, prev_end, "blocks must tile contiguously");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, n, "n={n} p={p}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        let n = 103;
+        let p = 10;
+        let lens: Vec<usize> = (0..p).map(|i| block_len(n, p, i)).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max - min <= 1, "lens {lens:?}");
+    }
+
+    #[test]
+    fn prefix_offsets_basic() {
+        assert_eq!(prefix_offsets(&[3, 0, 5]), vec![0, 3, 3, 8]);
+        assert_eq!(prefix_offsets(&[]), vec![0]);
+    }
+
+    #[test]
+    fn pmod_wraps_negatives() {
+        assert_eq!(pmod(-1, 5), 4);
+        assert_eq!(pmod(-6, 5), 4);
+        assert_eq!(pmod(7, 5), 2);
+        assert_eq!(pmod(0, 5), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Alltoall cost models (extension): pairwise exchange, spread-out, and
+//! radix-`r` Bruck.
+//!
+//! `n` is the per-destination block size (OSU convention), so every rank
+//! holds `n·p` bytes total.
+
+use crate::NetParams;
+
+/// Pairwise exchange: `p-1` rounds of one `n`-byte exchange each.
+pub fn pairwise(net: &NetParams, n: usize, p: usize) -> f64 {
+    (p - 1) as f64 * (net.alpha + net.beta * n as f64)
+}
+
+/// Spread-out: all `p-1` messages at once; latencies overlap, bytes
+/// serialize on the endpoint.
+pub fn spread(net: &NetParams, n: usize, p: usize) -> f64 {
+    net.alpha + (p - 1) as f64 * net.beta * n as f64
+}
+
+/// Rounds of radix-`r` Bruck for `p` ranks: one per (digit, value) pair
+/// with a non-empty bundle.
+pub fn bruck_rounds(p: usize, r: usize) -> usize {
+    debug_assert!(r >= 2);
+    let mut rounds = 0;
+    let mut stride = 1usize;
+    while stride < p {
+        rounds += (1..r).filter(|&v| v * stride < p).count();
+        stride *= r;
+    }
+    rounds
+}
+
+/// Radix-`r` Bruck: each round moves a bundle of ~`p/r` blocks.
+pub fn bruck(net: &NetParams, n: usize, p: usize, r: usize) -> f64 {
+    let bundle = (n as f64) * (p as f64) / (r as f64);
+    bruck_rounds(p, r) as f64 * (net.alpha + net.beta * bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetParams {
+        NetParams {
+            alpha: 2000.0,
+            beta: 0.04,
+            gamma: 0.0,
+        }
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(bruck_rounds(8, 2), 3);
+        assert_eq!(bruck_rounds(9, 3), 4);
+        assert_eq!(bruck_rounds(64, 8), 14);
+        assert_eq!(bruck_rounds(1, 2), 0);
+    }
+
+    #[test]
+    fn bruck_beats_pairwise_for_small_blocks() {
+        // Classic Bruck motivation: log rounds beat p-1 rounds when alpha
+        // dominates.
+        let net = net();
+        let p = 256;
+        assert!(bruck(&net, 8, p, 2) < pairwise(&net, 8, p));
+    }
+
+    #[test]
+    fn pairwise_beats_bruck_for_large_blocks() {
+        // Bruck forwards each block log(p) times; pairwise moves it once.
+        let net = net();
+        let p = 256;
+        let n = 1 << 20;
+        assert!(pairwise(&net, n, p) < bruck(&net, n, p, 2));
+    }
+
+    #[test]
+    fn radix_trades_rounds_for_volume() {
+        let net = net();
+        let p = 256;
+        // More rounds with higher radix...
+        assert!(bruck_rounds(p, 8) > bruck_rounds(p, 2));
+        // ...but less volume per round: for mid-size blocks an intermediate
+        // radix can win both classic extremes.
+        let n = 4096;
+        let best_r = [2usize, 4, 8, 16]
+            .into_iter()
+            .min_by(|&a, &b| bruck(&net, n, p, a).total_cmp(&bruck(&net, n, p, b)))
+            .unwrap();
+        assert!(best_r > 2, "intermediate radix should win, got {best_r}");
+    }
+}

@@ -1,0 +1,39 @@
+//! K-dissemination barrier cost model (extension; the n-way dissemination
+//! barrier is cited in the paper's related work §VII).
+
+use crate::NetParams;
+
+/// Rounds of the k-dissemination barrier: `ceil(log_k p)`.
+pub fn rounds(p: usize, k: usize) -> f64 {
+    crate::rounds(p, k)
+}
+
+/// Barrier completion model: each round posts `k-1` empty sends whose
+/// latencies overlap, so `T = ceil(log_k p) · α` under perfect buffering.
+pub fn barrier(net: &NetParams, p: usize, k: usize) -> f64 {
+    rounds(p, k) * net.alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_match_dissemination() {
+        assert_eq!(rounds(8, 2), 3.0);
+        assert_eq!(rounds(9, 3), 2.0);
+        assert_eq!(rounds(64, 8), 2.0);
+        assert_eq!(rounds(1, 2), 0.0);
+    }
+
+    #[test]
+    fn higher_radix_cuts_alpha() {
+        let net = NetParams {
+            alpha: 2000.0,
+            beta: 0.04,
+            gamma: 0.0,
+        };
+        assert!(barrier(&net, 64, 8) < barrier(&net, 64, 2));
+        assert_eq!(barrier(&net, 64, 64), net.alpha);
+    }
+}

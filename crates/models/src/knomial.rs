@@ -1,0 +1,133 @@
+//! Binomial (Eq. 1–2) and k-nomial (Eq. 3) tree cost models.
+
+use crate::{logk, NetParams};
+
+/// Eq. (3), Bcast row: `log_k(p)·α + (k-1)·n·log_k(p)·β`.
+pub fn bcast(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    let l = logk(p, k);
+    l * net.alpha + (k - 1) as f64 * n as f64 * l * net.beta
+}
+
+/// Eq. (3), Reduce row: adds the `(k-1)·n·log_k(p)·γ` computation term.
+pub fn reduce(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    let l = logk(p, k);
+    let kn = (k - 1) as f64 * n as f64;
+    l * net.alpha + kn * l * net.beta + kn * l * net.gamma
+}
+
+/// Eq. (1), Gather row: `log_2(p)·α + n·((p-1)/p)·β` generalized to radix
+/// `k` (the bandwidth term is radix-independent: every rank's block crosses
+/// the network once).
+pub fn gather(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    let l = logk(p, k);
+    l * net.alpha + n as f64 * (p - 1) as f64 / p as f64 * net.beta
+}
+
+/// Eq. (3), Allgather row (gather + bcast composite):
+/// `log_k(p)·α + (k-1)·n·(log_k(p) + (p-1)/p)·β`.
+pub fn allgather(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    let l = logk(p, k);
+    l * net.alpha
+        + (k - 1) as f64 * n as f64 * (l + (p - 1) as f64 / p as f64) * net.beta
+}
+
+/// Eq. (3), Allreduce row (reduce + bcast composite).
+pub fn allreduce(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    let l = logk(p, k);
+    let kn = (k - 1) as f64 * n as f64;
+    l * net.alpha + kn * (l + (p - 1) as f64 / p as f64) * net.beta + kn * l * net.gamma
+}
+
+/// Eq. (1) equivalents: the binomial models are the `k = 2` instances.
+pub mod binomial {
+    use crate::NetParams;
+
+    /// Eq. (1), Bcast row.
+    pub fn bcast(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::bcast(net, n, p, 2)
+    }
+
+    /// Eq. (1), Reduce row.
+    pub fn reduce(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::reduce(net, n, p, 2)
+    }
+
+    /// Eq. (1), Gather row.
+    pub fn gather(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::gather(net, n, p, 2)
+    }
+
+    /// Eq. (2), Allgather row.
+    pub fn allgather(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::allgather(net, n, p, 2)
+    }
+
+    /// Eq. (2), Allreduce row.
+    pub fn allreduce(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::allreduce(net, n, p, 2)
+    }
+}
+
+/// The naïve linear broadcast/reduce baseline of §III-B: `p(α + βn)`.
+pub fn linear(net: &NetParams, n: usize, p: usize) -> f64 {
+    p as f64 * (net.alpha + net.beta * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetParams {
+        NetParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            gamma: 0.5,
+        }
+    }
+
+    #[test]
+    fn k2_equals_binomial() {
+        let net = net();
+        for (n, p) in [(8usize, 16usize), (1024, 64), (1 << 20, 128)] {
+            assert_eq!(bcast(&net, n, p, 2), binomial::bcast(&net, n, p));
+            assert_eq!(reduce(&net, n, p, 2), binomial::reduce(&net, n, p));
+            assert_eq!(allgather(&net, n, p, 2), binomial::allgather(&net, n, p));
+            assert_eq!(allreduce(&net, n, p, 2), binomial::allreduce(&net, n, p));
+        }
+    }
+
+    #[test]
+    fn larger_k_cuts_latency_grows_bandwidth() {
+        // §III-D: larger k decreases the α effect, increases the β effect.
+        let net = net();
+        let p = 256;
+        // Tiny message: latency-dominated, k = 16 must beat k = 2.
+        assert!(bcast(&net, 1, p, 16) < bcast(&net, 1, p, 2));
+        // Huge message: bandwidth-dominated, k = 2 must beat k = 16.
+        assert!(bcast(&net, 1 << 22, p, 2) < bcast(&net, 1 << 22, p, 16));
+    }
+
+    #[test]
+    fn reduce_includes_gamma() {
+        let net = net();
+        let mut no_gamma = net;
+        no_gamma.gamma = 0.0;
+        assert!(reduce(&net, 1024, 16, 4) > reduce(&no_gamma, 1024, 16, 4));
+        assert_eq!(bcast(&net, 1024, 16, 4), bcast(&no_gamma, 1024, 16, 4));
+    }
+
+    #[test]
+    fn single_process_is_free() {
+        let net = net();
+        assert_eq!(bcast(&net, 4096, 1, 2), 0.0);
+        assert_eq!(allreduce(&net, 4096, 1, 3), 0.0);
+    }
+
+    #[test]
+    fn linear_is_p_times_pointtopoint() {
+        let net = net();
+        assert_eq!(linear(&net, 100, 7), 7.0 * 1100.0);
+        // Binomial beats linear for any nontrivial p on small messages.
+        assert!(binomial::bcast(&net, 8, 64) < linear(&net, 8, 64));
+    }
+}

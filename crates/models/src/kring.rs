@@ -1,0 +1,135 @@
+//! K-ring cost models (Eq. 11–14).
+//!
+//! The α-β model alone shows *no* benefit for k-ring (Eq. 12 reduces to the
+//! plain ring's `(p-1)·T_i`) — the paper's point is that the benefit appears
+//! only once intra-group rounds ride a faster fabric. The heterogeneous
+//! variants below add that second link class, matching the machine model of
+//! `exacoll-sim`.
+
+use crate::NetParams;
+
+/// Eq. (11): number of intra-group rounds, `g(k-1)` with `g = p/k`.
+pub fn intra_rounds(p: usize, k: usize) -> usize {
+    debug_assert_eq!(p % k, 0);
+    (p / k) * (k - 1)
+}
+
+/// Eq. (11): number of inter-group rounds, `g - 1`.
+pub fn inter_rounds(p: usize, k: usize) -> usize {
+    debug_assert_eq!(p % k, 0);
+    p / k - 1
+}
+
+/// Eq. (12): homogeneous-network total, `(p-1)·T_i` — identical to ring.
+pub fn allgather_homogeneous(net: &NetParams, n: usize, p: usize) -> f64 {
+    crate::ring::allgather(net, n, p)
+}
+
+/// Eq. (13): inter-group bytes sent+received per group,
+/// `2n·(p-k)/p`.
+pub fn inter_group_data(n: usize, p: usize, k: usize) -> f64 {
+    2.0 * n as f64 * (p - k) as f64 / p as f64
+}
+
+/// Eq. (14): the classic ring (`k = 1`) inter-group data, `2n·(p-1)/p`.
+pub fn ring_inter_group_data(n: usize, p: usize) -> f64 {
+    inter_group_data(n, p, 1)
+}
+
+/// Heterogeneous k-ring allgather: intra-group rounds at `intra` link
+/// parameters, inter-group rounds at `inter` — the two-tier structure the
+/// paper exploits on Frontier (§V-C).
+pub fn allgather_heterogeneous(
+    intra: &NetParams,
+    inter: &NetParams,
+    n: usize,
+    p: usize,
+    k: usize,
+) -> f64 {
+    let per_round = n as f64 / p as f64;
+    intra_rounds(p, k) as f64 * (intra.alpha + intra.beta * per_round)
+        + inter_rounds(p, k) as f64 * (inter.alpha + inter.beta * per_round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> NetParams {
+        NetParams {
+            alpha: 500.0,
+            beta: 0.02,
+            gamma: 0.0,
+        }
+    }
+
+    fn slow() -> NetParams {
+        NetParams {
+            alpha: 2000.0,
+            beta: 0.04,
+            gamma: 0.0,
+        }
+    }
+
+    #[test]
+    fn round_counts_sum_to_p_minus_1() {
+        // Eq. (12): g(k-1) + (g-1) = p - 1.
+        for (p, k) in [(6usize, 3usize), (8, 4), (1024, 8), (12, 1), (12, 12)] {
+            assert_eq!(intra_rounds(p, k) + inter_rounds(p, k), p - 1, "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn fig6_round_split() {
+        // Fig. 6: p = 6, k = 3 → 4 intra rounds, 1 inter round.
+        assert_eq!(intra_rounds(6, 3), 4);
+        assert_eq!(inter_rounds(6, 3), 1);
+    }
+
+    #[test]
+    fn eq13_reduces_to_eq14_at_k1() {
+        let (n, p) = (1 << 20, 48usize);
+        assert_eq!(inter_group_data(n, p, 1), ring_inter_group_data(n, p));
+    }
+
+    #[test]
+    fn fig6_inter_group_data() {
+        // §V-D worked example: per-partition φ, group 0 exchanges 6φ with
+        // k-ring (k=3) vs 10φ with ring on p = 6.
+        let phi = 100.0;
+        let n = (6.0 * phi) as usize;
+        assert_eq!(inter_group_data(n, 6, 3), 6.0 * phi);
+        assert_eq!(ring_inter_group_data(n, 6), 10.0 * phi);
+    }
+
+    #[test]
+    fn bigger_groups_cut_inter_group_data() {
+        let (n, p) = (1 << 20, 64usize);
+        let d1 = inter_group_data(n, p, 1);
+        let d8 = inter_group_data(n, p, 8);
+        let d64 = inter_group_data(n, p, 64);
+        assert!(d1 > d8 && d8 > d64);
+        assert_eq!(d64, 0.0);
+    }
+
+    #[test]
+    fn homogeneous_model_shows_no_kring_benefit() {
+        // Eq. (12): on a uniform network k-ring time equals ring time —
+        // "the analytic model does not present a clear benefit" (§VI-C).
+        let net = slow();
+        let (n, p) = (1 << 22, 64usize);
+        assert_eq!(
+            allgather_homogeneous(&net, n, p),
+            crate::ring::allgather(&net, n, p)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_model_rewards_node_sized_groups() {
+        // With a fast intranode fabric, k = 8 (the PPN) must beat k = 1.
+        let (n, p) = (1 << 24, 64usize);
+        let t_ring = allgather_heterogeneous(&fast(), &slow(), n, p, 1);
+        let t_k8 = allgather_heterogeneous(&fast(), &slow(), n, p, 8);
+        assert!(t_k8 < t_ring, "k8 {t_k8} vs ring {t_ring}");
+    }
+}

@@ -1,0 +1,82 @@
+//! # exacoll-models — analytical α-β-γ cost models (paper Eqs. 1–14)
+//!
+//! The paper models every algorithm in the classic (α, β) point-to-point
+//! cost model: a message of `n` bytes costs `α + βn`, where α is the startup
+//! latency and β the per-byte cost; reductions add γ per byte of
+//! computation. These models predict the *trends* of radix tuning; the
+//! evaluation then shows where hardware realities (NIC ports, intranode
+//! links) overtake them — which this reproduction's simulator captures and
+//! the `models` bench target contrasts.
+//!
+//! All functions return time in the unit α/β/γ are expressed in
+//! (nanoseconds throughout this workspace). `n` is bytes, `p` is processes,
+//! `k` is the generalized radix.
+
+pub mod alltoall;
+pub mod barrier;
+pub mod knomial;
+pub mod kring;
+pub mod optimal;
+pub mod recursive;
+pub mod ring;
+
+pub use optimal::optimal_k;
+
+/// Network/compute parameters of the α-β-γ model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetParams {
+    /// Per-message startup latency (ns).
+    pub alpha: f64,
+    /// Per-byte transfer cost (ns/B).
+    pub beta: f64,
+    /// Per-byte reduction cost (ns/B).
+    pub gamma: f64,
+}
+
+impl NetParams {
+    /// Frontier-like constants matching `exacoll_sim::Machine::frontier`'s
+    /// internode path (2 µs, 25 GB/s) for model-vs-simulation comparisons.
+    pub fn frontier_like() -> Self {
+        NetParams {
+            alpha: 2_000.0,
+            beta: 0.04,
+            gamma: 0.005,
+        }
+    }
+}
+
+/// `log_k p` as the models use it (0 for `p <= 1`).
+pub(crate) fn logk(p: usize, k: usize) -> f64 {
+    debug_assert!(k >= 2);
+    if p <= 1 {
+        0.0
+    } else {
+        (p as f64).ln() / (k as f64).ln()
+    }
+}
+
+/// Integer number of rounds, `ceil(log_k p)`, used where the models count
+/// discrete communication rounds.
+pub fn rounds(p: usize, k: usize) -> f64 {
+    logk(p, k).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logk_values() {
+        assert_eq!(logk(1, 2), 0.0);
+        assert!((logk(8, 2) - 3.0).abs() < 1e-12);
+        assert!((logk(9, 3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_ceil() {
+        assert_eq!(rounds(6, 2), 3.0);
+        assert_eq!(rounds(8, 2), 3.0);
+        assert_eq!(rounds(9, 2), 4.0);
+        assert_eq!(rounds(128, 4), 4.0);
+    }
+}

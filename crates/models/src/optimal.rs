@@ -1,0 +1,110 @@
+//! Optimal-radix search over the analytical models.
+
+/// The radix in `2..=max_k` minimizing `cost(k)`; ties go to the smaller
+/// radix (fewer simultaneous messages).
+pub fn optimal_k(max_k: usize, cost: impl Fn(usize) -> f64) -> usize {
+    assert!(max_k >= 2);
+    let mut best = 2;
+    let mut best_cost = cost(2);
+    for k in 3..=max_k {
+        let c = cost(k);
+        if c < best_cost {
+            best = k;
+            best_cost = c;
+        }
+    }
+    best
+}
+
+/// The smallest power-of-two message size in `[8, max_n]` at which
+/// `contender(n) <= incumbent(n)`, i.e. the algorithm switchpoint a
+/// selection table would record. `None` if the contender never wins.
+pub fn crossover_size(
+    max_n: usize,
+    incumbent: impl Fn(usize) -> f64,
+    contender: impl Fn(usize) -> f64,
+) -> Option<usize> {
+    let mut n = 8usize;
+    while n <= max_n {
+        if contender(n) <= incumbent(n) {
+            return Some(n);
+        }
+        n *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{knomial, recursive, ring, NetParams};
+
+    fn net() -> NetParams {
+        NetParams {
+            alpha: 2000.0,
+            beta: 0.04,
+            gamma: 0.005,
+        }
+    }
+
+    #[test]
+    fn picks_the_minimum() {
+        assert_eq!(optimal_k(10, |k| (k as f64 - 7.0).abs()), 7);
+        assert_eq!(optimal_k(5, |_| 1.0), 2); // tie → smallest
+    }
+
+    #[test]
+    fn knomial_bcast_optimum_shrinks_with_message_size() {
+        // §III-D: larger k wins for tiny messages, smaller k for large.
+        let net = net();
+        let p = 128;
+        let k_small = optimal_k(p, |k| knomial::bcast(&net, 8, p, k));
+        let k_large = optimal_k(p, |k| knomial::bcast(&net, 1 << 22, p, k));
+        assert!(k_small > k_large, "small-msg k {k_small} vs large-msg k {k_large}");
+        assert_eq!(k_large, 2);
+    }
+
+    #[test]
+    fn model_optimum_for_tiny_messages_is_near_p() {
+        // §III-D: "an ideal overlapping would result in an optimal k value
+        // for very small messages at or near p".
+        let net = net();
+        let p = 64;
+        let k = optimal_k(p, |k| knomial::bcast(&net, 1, p, k));
+        assert!(k > p / 2, "k = {k}");
+    }
+
+    #[test]
+    fn ring_overtakes_binomial_in_the_expected_window() {
+        // The classic MPICH switchpoint: trees own small messages, ring
+        // owns large ones; the model's crossover must land in between.
+        let net = net();
+        let p = 128;
+        // Both models take the *total* gathered payload.
+        let cross = crossover_size(
+            1 << 30,
+            |n| knomial::allgather(&net, n, p, 2),
+            |n| ring::allgather(&net, n, p),
+        )
+        .expect("ring eventually wins");
+        assert!(
+            (1024..=16 << 20).contains(&cross),
+            "crossover at {cross} bytes is implausible"
+        );
+        // And a contender that never wins reports None.
+        assert_eq!(
+            crossover_size(1 << 20, |_| 1.0, |_| 2.0),
+            None
+        );
+    }
+
+    #[test]
+    fn recmult_model_optimum_grows_for_tiny_messages() {
+        // The pure model contradicts the hardware truth — documented
+        // behaviour the evaluation section tests against the simulator.
+        let net = net();
+        let p = 256;
+        let k = optimal_k(p, |k| recursive::allreduce(&net, 8, p, k));
+        assert!(k > 4, "model-optimal k = {k} ignores port limits");
+    }
+}

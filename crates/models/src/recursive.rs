@@ -1,0 +1,120 @@
+//! Recursive doubling (Eq. 4–5) and recursive multiplying (Eq. 6–7) models.
+
+use crate::{logk, NetParams};
+
+/// Eq. (6), Allgather/Bcast row: `α·log_k(p) + β·n·(p-1)/p`.
+///
+/// The bandwidth term is radix-independent: every block crosses the network
+/// once regardless of grouping.
+pub fn allgather(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    logk(p, k) * net.alpha + net.beta * n as f64 * (p - 1) as f64 / p as f64
+}
+
+/// Eq. (6), Allreduce row: `log_k(p) · (α + (β+γ)·(k-1)·n)`.
+pub fn allreduce(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
+    logk(p, k) * (net.alpha + (net.beta + net.gamma) * (k - 1) as f64 * n as f64)
+}
+
+/// Eq. (7), per-round cost, Allgather/Bcast row:
+/// `α + β·n·(k-1)·k^(i-1)/p` for round `i` (1-based).
+pub fn allgather_round(net: &NetParams, n: usize, p: usize, k: usize, i: usize) -> f64 {
+    debug_assert!(i >= 1);
+    net.alpha
+        + net.beta * n as f64 * (k - 1) as f64 * (k as f64).powi(i as i32 - 1) / p as f64
+}
+
+/// Eq. (7), per-round cost, Allreduce row: `α + (β+γ)·(k-1)·n`.
+pub fn allreduce_round(net: &NetParams, n: usize, k: usize) -> f64 {
+    net.alpha + (net.beta + net.gamma) * (k - 1) as f64 * n as f64
+}
+
+/// Recursive doubling (Eq. 4–5) is the `k = 2` instance.
+pub mod doubling {
+    use crate::NetParams;
+
+    /// Eq. (4), Allgather/Bcast row.
+    pub fn allgather(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::allgather(net, n, p, 2)
+    }
+
+    /// Eq. (4), Allreduce row.
+    pub fn allreduce(net: &NetParams, n: usize, p: usize) -> f64 {
+        super::allreduce(net, n, p, 2)
+    }
+
+    /// Eq. (5), round `i` (1-based), Allgather/Bcast row.
+    pub fn allgather_round(net: &NetParams, n: usize, p: usize, i: usize) -> f64 {
+        super::allgather_round(net, n, p, 2, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetParams {
+        NetParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            gamma: 0.5,
+        }
+    }
+
+    #[test]
+    fn k2_equals_doubling() {
+        let net = net();
+        for (n, p) in [(8usize, 16usize), (4096, 64)] {
+            assert_eq!(allgather(&net, n, p, 2), doubling::allgather(&net, n, p));
+            assert_eq!(allreduce(&net, n, p, 2), doubling::allreduce(&net, n, p));
+        }
+    }
+
+    #[test]
+    fn round_costs_sum_to_total_allgather() {
+        // Eq. (5) rounds sum to Eq. (4): α·log + β·n·(2^log - 1)/p.
+        let net = net();
+        let (n, p) = (1 << 16, 64usize);
+        let rounds = 6; // log2(64)
+        let total: f64 = (1..=rounds)
+            .map(|i| doubling::allgather_round(&net, n, p, i))
+            .sum();
+        let model = doubling::allgather(&net, n, p);
+        assert!(
+            (total - model).abs() / model < 1e-9,
+            "sum {total} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn model_says_bigger_k_always_helps_allreduce_latency() {
+        // §IV-D: by the *model*, fewer rounds with small n favor large k —
+        // the empirical result (optimal k ≈ ports) contradicts this, which
+        // is exactly the paper's point about hardware features dominating.
+        let net = net();
+        let p = 256;
+        let t2 = allreduce(&net, 8, p, 2);
+        let t16 = allreduce(&net, 8, p, 16);
+        assert!(t16 < t2, "model favors large k for tiny messages");
+    }
+
+    #[test]
+    fn allgather_bandwidth_is_radix_independent() {
+        let net = NetParams {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
+        let n = 1 << 20;
+        assert_eq!(allgather(&net, n, 64, 2), allgather(&net, n, 64, 8));
+    }
+
+    #[test]
+    fn per_round_data_grows_geometrically() {
+        let net = net();
+        let r1 = allgather_round(&net, 1 << 20, 27, 3, 1) - net.alpha;
+        let r2 = allgather_round(&net, 1 << 20, 27, 3, 2) - net.alpha;
+        let r3 = allgather_round(&net, 1 << 20, 27, 3, 3) - net.alpha;
+        assert!((r2 / r1 - 3.0).abs() < 1e-9);
+        assert!((r3 / r2 - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Ring cost models (Eq. 8–10).
+
+use crate::NetParams;
+
+/// Eq. (9), per-round cost, Allgather/Bcast row: `α + βn/p`.
+pub fn allgather_round(net: &NetParams, n: usize, p: usize) -> f64 {
+    net.alpha + net.beta * n as f64 / p as f64
+}
+
+/// Eq. (9), per-round cost, Allreduce row: `α + βn/p + γn/p`.
+pub fn allreduce_round(net: &NetParams, n: usize, p: usize) -> f64 {
+    net.alpha + (net.beta + net.gamma) * n as f64 / p as f64
+}
+
+/// Eq. (8): `(p-1) · T_i`, Allgather/Bcast.
+pub fn allgather(net: &NetParams, n: usize, p: usize) -> f64 {
+    (p - 1) as f64 * allgather_round(net, n, p)
+}
+
+/// Eq. (8): `(p-1) · T_i`, Allreduce — the classic ring allreduce runs a
+/// reduce-scatter ring plus an allgather ring, `2(p-1)` rounds.
+pub fn allreduce(net: &NetParams, n: usize, p: usize) -> f64 {
+    (p - 1) as f64 * (allreduce_round(net, n, p) + allgather_round(net, n, p))
+}
+
+/// Eq. (10): the large-`n` asymptote, `βn` (plus `γn` for allreduce) —
+/// independent of latency and the number of processes.
+pub fn asymptote_allgather(net: &NetParams, n: usize) -> f64 {
+    net.beta * n as f64
+}
+
+/// Eq. (10), Allreduce row: `βn + γn` (one reduce-scatter plus one
+/// allgather traversal, each asymptotically βn/... the combined data motion
+/// is ~2βn but the paper folds the constant; we report β·n + γ·n as
+/// written).
+pub fn asymptote_allreduce(net: &NetParams, n: usize) -> f64 {
+    (net.beta + net.gamma) * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetParams {
+        NetParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            gamma: 0.5,
+        }
+    }
+
+    #[test]
+    fn total_is_p_minus_one_rounds() {
+        let net = net();
+        let (n, p) = (1 << 20, 16usize);
+        assert_eq!(allgather(&net, n, p), 15.0 * allgather_round(&net, n, p));
+    }
+
+    #[test]
+    fn asymptote_reached_for_large_n() {
+        // Eq. (10): for n >> pα/β the total approaches βn·(p-1)/p ≈ βn.
+        let net = net();
+        let p = 32;
+        let n = 1 << 30;
+        let exact = allgather(&net, n, p);
+        let asym = asymptote_allgather(&net, n);
+        let ratio = exact / asym;
+        assert!((ratio - (p - 1) as f64 / p as f64).abs() < 1e-3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ring_beats_tree_bandwidth_for_large_messages() {
+        // The reason ring owns the large-message regime: its bandwidth term
+        // is ~βn vs the tree's βn·log(p).
+        let net = net();
+        let (n, p) = (1 << 24, 64usize);
+        assert!(allgather(&net, n, p) < crate::knomial::allgather(&net, n, p, 2));
+    }
+
+    #[test]
+    fn tree_beats_ring_latency_for_small_messages() {
+        let net = net();
+        let (n, p) = (8usize, 64usize);
+        assert!(crate::knomial::allgather(&net, n, p, 2) < allgather(&net, n, p));
+    }
+}

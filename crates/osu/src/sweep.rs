@@ -1,0 +1,164 @@
+//! Message-size sweeps in the OSU ladder style.
+
+use crate::measure::latency;
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_sim::{Machine, SimTime};
+
+/// The OSU message-size ladder the paper's figures use: powers of two from
+/// 8 B to 4 MB.
+pub fn osu_sizes() -> Vec<usize> {
+    (3..=22).map(|e| 1usize << e).collect()
+}
+
+/// A sparser ladder (×4 steps) for expensive large-scale sweeps, mirroring
+/// the paper's 1024-node methodology of testing only the most promising
+/// configurations.
+pub fn osu_sizes_large() -> Vec<usize> {
+    (3..=22).step_by(2).map(|e| 1usize << e).collect()
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Per-rank message size (bytes).
+    pub n: usize,
+    /// Algorithm measured.
+    pub alg: Algorithm,
+    /// Simulated latency.
+    pub latency: SimTime,
+}
+
+/// A message-size × algorithm sweep of one collective on one machine.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Machine swept on.
+    pub machine: Machine,
+    /// Collective swept.
+    pub op: CollectiveOp,
+    /// Measured points, grouped by message size in ladder order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Measure every (size, algorithm) combination. Algorithms that do not
+    /// support the machine's rank count are skipped.
+    pub fn run(
+        machine: &Machine,
+        op: CollectiveOp,
+        sizes: &[usize],
+        algs: &[Algorithm],
+    ) -> Sweep {
+        let mut points = Vec::new();
+        for &n in sizes {
+            for &alg in algs {
+                if alg.supports(op, machine.ranks()).is_err() {
+                    continue;
+                }
+                let t = latency(machine, op, alg, n)
+                    .unwrap_or_else(|e| panic!("{op} {alg} n={n}: {e}"));
+                points.push(SweepPoint { n, alg, latency: t });
+            }
+        }
+        Sweep {
+            machine: machine.clone(),
+            op,
+            points,
+        }
+    }
+
+    /// The fastest algorithm at message size `n`, with its latency.
+    pub fn best_at(&self, n: usize) -> Option<(&SweepPoint, SimTime)> {
+        self.points
+            .iter()
+            .filter(|pt| pt.n == n)
+            .min_by_key(|pt| pt.latency)
+            .map(|pt| (pt, pt.latency))
+    }
+
+    /// Latency of a specific algorithm at size `n`.
+    pub fn latency_of(&self, n: usize, alg: Algorithm) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|pt| pt.n == n && pt.alg == alg)
+            .map(|pt| pt.latency)
+    }
+
+    /// Distinct sizes in ladder order.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for pt in &self.points {
+            if out.last() != Some(&pt.n) && !out.contains(&pt.n) {
+                out.push(pt.n);
+            }
+        }
+        out
+    }
+}
+
+/// Human-readable size label ("8B", "64KB", "4MB") as the paper's axes use.
+pub fn fmt_size(n: usize) -> String {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
+        format!("{}MB", n >> 20)
+    } else if n >= 1024 && n.is_multiple_of(1024) {
+        format!("{}KB", n >> 10)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_shape() {
+        let s = osu_sizes();
+        assert_eq!(*s.first().unwrap(), 8);
+        assert_eq!(*s.last().unwrap(), 4 << 20);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+        let l = osu_sizes_large();
+        assert!(l.len() < s.len());
+        assert!(l.iter().all(|x| s.contains(x)));
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(fmt_size(8), "8B");
+        assert_eq!(fmt_size(2048), "2KB");
+        assert_eq!(fmt_size(4 << 20), "4MB");
+        assert_eq!(fmt_size(1500), "1500B");
+    }
+
+    #[test]
+    fn sweep_collects_and_ranks() {
+        let m = Machine::frontier(4, 1);
+        let algs = [
+            Algorithm::KnomialTree { k: 2 },
+            Algorithm::KnomialTree { k: 4 },
+            Algorithm::Linear,
+        ];
+        let sweep = Sweep::run(&m, CollectiveOp::Bcast, &[8, 1024], &algs);
+        assert_eq!(sweep.points.len(), 6);
+        assert_eq!(sweep.sizes(), vec![8, 1024]);
+        let (best, t) = sweep.best_at(8).unwrap();
+        assert!(t.as_nanos() > 0.0);
+        assert!(algs.contains(&best.alg));
+        assert!(sweep
+            .latency_of(1024, Algorithm::Linear)
+            .is_some());
+        assert!(sweep.latency_of(1024, Algorithm::Ring).is_none());
+    }
+
+    #[test]
+    fn unsupported_algorithms_are_skipped() {
+        let m = Machine::frontier(5, 1); // p = 5: k-ring(7) exceeds p
+        let sweep = Sweep::run(
+            &m,
+            CollectiveOp::Allgather,
+            &[64],
+            &[Algorithm::KRing { k: 7 }, Algorithm::Ring],
+        );
+        assert_eq!(sweep.points.len(), 1);
+        assert_eq!(sweep.points[0].alg, Algorithm::Ring);
+    }
+}

@@ -1,0 +1,417 @@
+//! Machine descriptions: topology, NIC ports, intranode fabric, CPU costs.
+//!
+//! A [`Machine`] is a system-agnostic parameterization of the hardware
+//! features the paper identifies (§II-B). Two presets encode the published
+//! characteristics of the evaluation systems:
+//!
+//! * [`Machine::frontier`] — 4×200 Gb/s NICs per node (one per MI250X),
+//!   Infinity Fabric intranode links, dragonfly network.
+//! * [`Machine::polaris`] — 2 Slingshot ports behind PCIe Gen4, 4×A100 fully
+//!   connected with 600 GB/s NVLink, dragonfly network.
+//!
+//! All time constants are nanoseconds; bandwidths are expressed as
+//! `beta` = ns *per byte* (so 25 GB/s ⇒ β = 0.04 ns/B), matching the α-β-γ
+//! model in the paper and in `exacoll-models`.
+
+use serde::{Deserialize, Serialize};
+
+/// Internode link / path parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// End-to-end small-message latency α (ns) for a minimal intra-group path.
+    pub alpha_ns: f64,
+    /// Per-byte cost β (ns/B) of one NIC port direction.
+    pub beta_ns_per_byte: f64,
+    /// Extra latency for paths that cross dragonfly groups (ns).
+    pub inter_group_extra_ns: f64,
+    /// Fixed per-message port occupancy (ns): NIC packet-processing cost,
+    /// the reciprocal of the NIC message rate.
+    pub msg_overhead_ns: f64,
+}
+
+/// Intranode fabric parameters (Infinity Fabric, NVLink, shared memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntranodeParams {
+    /// Intranode small-message latency (ns).
+    pub alpha_ns: f64,
+    /// Per-byte cost of one rank's intranode injection path (ns/B).
+    pub beta_ns_per_byte: f64,
+    /// Fixed per-message fabric occupancy (ns).
+    pub msg_overhead_ns: f64,
+}
+
+/// Per-rank CPU/software costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuParams {
+    /// Cost of posting a send: the full MPI software injection path (ns).
+    pub o_send_ns: f64,
+    /// Cost of posting a receive: pre-posted DMA landing, much cheaper (ns).
+    pub o_recv_ns: f64,
+    /// Reduction computation per byte, the γ term (ns/B).
+    pub gamma_ns_per_byte: f64,
+    /// Fixed cost per reduction invocation (kernel launch etc., ns).
+    pub compute_fixed_ns: f64,
+}
+
+/// How a node's ranks use the node's NIC ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortAssignment {
+    /// Multi-rail: each transfer claims the least-busy port of the node's
+    /// pool. Models MPICH multirail striping and the 1-process-per-node
+    /// programming model where one rank drives all four Frontier NICs.
+    Pooled,
+    /// Each rank is pinned to the port serving its GPU pair (Frontier's
+    /// 1-port-per-2-GPUs wiring under the 8-processes-per-node model).
+    Pinned,
+}
+
+/// Network topology. Exascale networks use dragonfly with minimal adaptive
+/// routing (§II-B1), so the model's only topological effect is added latency
+/// on inter-group paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of nodes is equidistant.
+    Flat,
+    /// Dragonfly: nodes are packed into fully-connected groups of
+    /// `group_nodes`; paths between groups pay `inter_group_extra_ns`.
+    Dragonfly {
+        /// Nodes per dragonfly group.
+        group_nodes: usize,
+    },
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable name, e.g. `"frontier-128x1"`.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// MPI processes per node (1 = MPI+X, 8 = one per GPU on Frontier).
+    pub ppn: usize,
+    /// NIC ports per node.
+    pub ports_per_node: usize,
+    /// Port usage policy.
+    pub port_assignment: PortAssignment,
+    /// Internode path parameters.
+    pub inter: LinkParams,
+    /// Intranode fabric parameters.
+    pub intra: IntranodeParams,
+    /// CPU/software cost parameters.
+    pub cpu: CpuParams,
+    /// Network topology.
+    pub topology: Topology,
+    /// Maximum in-flight (posted, not yet delivered) sends per rank before
+    /// posting stalls — the "message buffering" depth of §II-B2.
+    /// `usize::MAX` means unlimited buffering.
+    pub send_buffer_depth: usize,
+    /// Messages of at least this many bytes use the rendezvous protocol:
+    /// the send completes only when the payload is delivered, coupling
+    /// neighbor rounds — the "implicit barrier between rounds" that lets
+    /// slow internode links starve a ring (§V-C). Smaller messages are
+    /// eager: the send completes at posting.
+    pub rendezvous_threshold: usize,
+    /// Dragonfly global (inter-group) uplinks per group: inter-group
+    /// transfers serialize on this pool in addition to the NIC ports.
+    /// `usize::MAX` (the presets' default) disables the constraint — the
+    /// paper argues minimal adaptive routing keeps dragonfly paths
+    /// congestion-free for its job sizes (§II-B1) — but the knob lets the
+    /// claim be tested.
+    pub global_links_per_group: usize,
+}
+
+impl Machine {
+    /// Total ranks in the job.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.ppn
+    }
+
+    /// Node housing `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ppn
+    }
+
+    /// Rank's index within its node.
+    #[inline]
+    pub fn local_of(&self, rank: usize) -> usize {
+        rank % self.ppn
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of dragonfly groups (1 for flat topologies).
+    pub fn groups(&self) -> usize {
+        match self.topology {
+            Topology::Flat => 1,
+            Topology::Dragonfly { group_nodes } => self.nodes.div_ceil(group_nodes),
+        }
+    }
+
+    /// Dragonfly group of a node.
+    #[inline]
+    pub fn group_of(&self, node: usize) -> usize {
+        match self.topology {
+            Topology::Flat => 0,
+            Topology::Dragonfly { group_nodes } => node / group_nodes,
+        }
+    }
+
+    /// Path latency between two *distinct* nodes (ns).
+    #[inline]
+    pub fn path_alpha_ns(&self, node_a: usize, node_b: usize) -> f64 {
+        debug_assert_ne!(node_a, node_b);
+        if self.group_of(node_a) == self.group_of(node_b) {
+            self.inter.alpha_ns
+        } else {
+            self.inter.alpha_ns + self.inter.inter_group_extra_ns
+        }
+    }
+
+    /// The NIC port a rank's transfer uses under [`PortAssignment::Pinned`].
+    #[inline]
+    pub fn pinned_port(&self, rank: usize) -> usize {
+        let local = self.local_of(rank);
+        // Spread ranks evenly over ports: on Frontier 8 PPN / 4 ports this is
+        // the 1-port-per-2-GPUs wiring.
+        local * self.ports_per_node / self.ppn.max(1)
+    }
+
+    /// Frontier-like machine (§VI-B): per node one EPYC CPU, 8 logical GPUs,
+    /// 4×200 Gb/s Slingshot NICs, Infinity Fabric intranode, dragonfly.
+    ///
+    /// `ppn` of 1 (MPI+X) uses pooled multi-rail ports; `ppn` of 8 (one rank
+    /// per GPU) pins GPU pairs to their port.
+    pub fn frontier(nodes: usize, ppn: usize) -> Machine {
+        Machine {
+            name: format!("frontier-{nodes}x{ppn}"),
+            nodes,
+            ppn,
+            ports_per_node: 4,
+            port_assignment: if ppn == 1 {
+                PortAssignment::Pooled
+            } else {
+                PortAssignment::Pinned
+            },
+            inter: LinkParams {
+                alpha_ns: 2_000.0,            // ~2 us MPI small-message latency
+                beta_ns_per_byte: 0.04,       // 200 Gb/s = 25 GB/s per port
+                inter_group_extra_ns: 400.0,  // extra global-link hop
+                msg_overhead_ns: 5.0,         // ~200M msg/s NIC
+            },
+            intra: IntranodeParams {
+                alpha_ns: 500.0,              // Infinity Fabric / XGMI hop
+                beta_ns_per_byte: 0.02,       // ~50 GB/s per direction per GCD
+                msg_overhead_ns: 5.0,
+            },
+            cpu: CpuParams {
+                o_send_ns: 400.0, // MPI send path incl. GPU-aware staging
+                o_recv_ns: 5.0,   // pre-posted receive descriptor (NIC-driven)
+                gamma_ns_per_byte: 0.005, // HBM-bound reduction ~200 GB/s eff.
+                compute_fixed_ns: 10.0,
+            },
+            topology: Topology::Dragonfly { group_nodes: 32 },
+            send_buffer_depth: usize::MAX,
+            rendezvous_threshold: 4096,
+            global_links_per_group: usize::MAX,
+        }
+    }
+
+    /// Polaris-like machine (§VI-B): 4×A100 fully connected with 600 GB/s
+    /// NVLink, two Slingshot ports behind 64 GB/s PCIe Gen4, dragonfly.
+    pub fn polaris(nodes: usize, ppn: usize) -> Machine {
+        Machine {
+            name: format!("polaris-{nodes}x{ppn}"),
+            nodes,
+            ppn,
+            ports_per_node: 2,
+            port_assignment: if ppn == 1 {
+                PortAssignment::Pooled
+            } else {
+                PortAssignment::Pinned
+            },
+            inter: LinkParams {
+                alpha_ns: 2_200.0,
+                beta_ns_per_byte: 0.08, // Slingshot-10: 100 Gb/s = 12.5 GB/s
+                inter_group_extra_ns: 400.0,
+                msg_overhead_ns: 5.0,
+            },
+            intra: IntranodeParams {
+                // NVLink bandwidth is enormous, but Polaris' MPI intranode
+                // GPU path (PCIe staging, no tight GPU/NIC integration)
+                // keeps small-message latency near the network's — the
+                // reason the paper finds k-ring ineffective there (§VI-E).
+                alpha_ns: 2_000.0,
+                beta_ns_per_byte: 0.0035, // ~285 GB/s per direction
+                msg_overhead_ns: 5.0,
+            },
+            cpu: CpuParams {
+                o_send_ns: 400.0,
+                o_recv_ns: 5.0,
+                gamma_ns_per_byte: 0.004,
+                compute_fixed_ns: 10.0,
+            },
+            topology: Topology::Dragonfly { group_nodes: 16 },
+            send_buffer_depth: usize::MAX,
+            rendezvous_threshold: 4096,
+            global_links_per_group: usize::MAX,
+        }
+    }
+
+    /// Aurora-like machine (projected): the paper names Aurora as the next
+    /// expected exascale system sharing Frontier's feature set (§II-B).
+    /// Per node: 6 Intel PVC GPUs (12 logical), 8 Slingshot NICs, Xe-Link
+    /// intranode fabric, dragonfly network. Useful for asking how the
+    /// generalized-radix findings extrapolate to a wider-ported node.
+    pub fn aurora(nodes: usize, ppn: usize) -> Machine {
+        Machine {
+            name: format!("aurora-{nodes}x{ppn}"),
+            nodes,
+            ppn,
+            ports_per_node: 8,
+            port_assignment: if ppn == 1 {
+                PortAssignment::Pooled
+            } else {
+                PortAssignment::Pinned
+            },
+            inter: LinkParams {
+                alpha_ns: 2_000.0,
+                beta_ns_per_byte: 0.04, // 200 Gb/s per port
+                inter_group_extra_ns: 400.0,
+                msg_overhead_ns: 5.0,
+            },
+            intra: IntranodeParams {
+                alpha_ns: 600.0,          // Xe-Link hop
+                beta_ns_per_byte: 0.025,  // ~40 GB/s per direction per tile
+                msg_overhead_ns: 5.0,
+            },
+            cpu: CpuParams {
+                o_send_ns: 400.0,
+                o_recv_ns: 5.0,
+                gamma_ns_per_byte: 0.005,
+                compute_fixed_ns: 10.0,
+            },
+            topology: Topology::Dragonfly { group_nodes: 32 },
+            send_buffer_depth: usize::MAX,
+            rendezvous_threshold: 4096,
+            global_links_per_group: usize::MAX,
+        }
+    }
+
+    /// A small generic test machine with round numbers, handy for unit tests
+    /// whose expected times are computed by hand.
+    pub fn testbed(nodes: usize, ppn: usize, ports: usize) -> Machine {
+        Machine {
+            name: format!("testbed-{nodes}x{ppn}"),
+            nodes,
+            ppn,
+            ports_per_node: ports,
+            port_assignment: PortAssignment::Pooled,
+            inter: LinkParams {
+                alpha_ns: 1_000.0,
+                beta_ns_per_byte: 1.0, // 1 GB/s
+                inter_group_extra_ns: 0.0,
+                msg_overhead_ns: 0.0,
+            },
+            intra: IntranodeParams {
+                alpha_ns: 100.0,
+                beta_ns_per_byte: 0.1,
+                msg_overhead_ns: 0.0,
+            },
+            cpu: CpuParams {
+                o_send_ns: 0.0,
+                o_recv_ns: 0.0,
+                gamma_ns_per_byte: 0.0,
+                compute_fixed_ns: 0.0,
+            },
+            topology: Topology::Flat,
+            send_buffer_depth: usize::MAX,
+            rendezvous_threshold: 4096,
+            global_links_per_group: usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_to_node_mapping() {
+        let m = Machine::frontier(4, 8);
+        assert_eq!(m.ranks(), 32);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(7), 0);
+        assert_eq!(m.node_of(8), 1);
+        assert_eq!(m.local_of(13), 5);
+        assert!(m.same_node(8, 15));
+        assert!(!m.same_node(7, 8));
+    }
+
+    #[test]
+    fn frontier_pins_gpu_pairs_to_ports() {
+        let m = Machine::frontier(2, 8);
+        assert_eq!(m.port_assignment, PortAssignment::Pinned);
+        // 8 local ranks over 4 ports: pairs share.
+        let ports: Vec<usize> = (0..8).map(|r| m.pinned_port(r)).collect();
+        assert_eq!(ports, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn one_ppn_uses_pooled_ports() {
+        let m = Machine::frontier(128, 1);
+        assert_eq!(m.port_assignment, PortAssignment::Pooled);
+        assert_eq!(m.ranks(), 128);
+    }
+
+    #[test]
+    fn dragonfly_groups_add_latency() {
+        let m = Machine::frontier(64, 1);
+        // Nodes 0 and 1 share group 0 (32 nodes per group).
+        assert_eq!(m.path_alpha_ns(0, 1), 2_000.0);
+        // Nodes 0 and 40 are in different groups.
+        assert_eq!(m.path_alpha_ns(0, 40), 2_400.0);
+        assert_eq!(m.group_of(31), 0);
+        assert_eq!(m.group_of(32), 1);
+    }
+
+    #[test]
+    fn flat_topology_is_uniform() {
+        let m = Machine::testbed(8, 1, 1);
+        assert_eq!(m.path_alpha_ns(0, 7), 1_000.0);
+        assert_eq!(m.group_of(7), 0);
+    }
+
+    #[test]
+    fn polaris_has_two_ports() {
+        let m = Machine::polaris(128, 4);
+        assert_eq!(m.ports_per_node, 2);
+        assert_eq!(m.ranks(), 512);
+        // 4 local ranks over 2 ports.
+        let ports: Vec<usize> = (0..4).map(|r| m.pinned_port(r)).collect();
+        assert_eq!(ports, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn aurora_has_eight_ports() {
+        let m = Machine::aurora(64, 12);
+        assert_eq!(m.ports_per_node, 8);
+        assert_eq!(m.ranks(), 768);
+        // 12 local ranks over 8 ports.
+        let ports: Vec<usize> = (0..12).map(|r| m.pinned_port(r)).collect();
+        assert_eq!(ports, vec![0, 0, 1, 2, 2, 3, 4, 4, 5, 6, 6, 7]);
+    }
+
+    #[test]
+    fn machine_serde_roundtrip() {
+        let m = Machine::frontier(32, 8);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

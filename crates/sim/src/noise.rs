@@ -1,0 +1,140 @@
+//! Optional run-to-run variance model.
+//!
+//! §VI-H of the paper reports significant run-to-run variance on Frontier
+//! that can change optimal algorithm selections. The simulator is
+//! deterministic by default; enabling a [`NoiseModel`] perturbs each
+//! transfer's latency and bandwidth by seeded, reproducible jitter so that
+//! variance-sensitivity experiments (and the autotuner's robustness to them)
+//! can be studied deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative jitter applied to transfer costs.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Maximum relative perturbation of the latency term (e.g. `0.1` ⇒ α is
+    /// scaled by a factor drawn uniformly from `[1.0, 1.1]`; congestion only
+    /// ever adds time).
+    pub alpha_jitter: f64,
+    /// Maximum relative perturbation of the per-byte term.
+    pub beta_jitter: f64,
+    /// Probability that a transfer hits a congestion hotspot.
+    pub spike_prob: f64,
+    /// Latency multiplier of a hotspot transfer (the heavy tail that makes
+    /// re-runs change optimal selections, §VI-H).
+    pub spike_scale: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// Create a seeded noise model (uniform jitter only, no spikes).
+    pub fn new(seed: u64, alpha_jitter: f64, beta_jitter: f64) -> Self {
+        assert!(alpha_jitter >= 0.0 && beta_jitter >= 0.0);
+        NoiseModel {
+            alpha_jitter,
+            beta_jitter,
+            spike_prob: 0.0,
+            spike_scale: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Add heavy-tail congestion spikes: with probability `prob` a
+    /// transfer's latency is multiplied by `scale`.
+    pub fn with_spikes(mut self, prob: f64, scale: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob) && scale >= 1.0);
+        self.spike_prob = prob;
+        self.spike_scale = scale;
+        self
+    }
+
+    /// Sample the latency scale factor for one transfer (≥ 1).
+    pub fn alpha_factor(&mut self) -> f64 {
+        let base = if self.alpha_jitter == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(0.0..self.alpha_jitter)
+        };
+        if self.spike_prob > 0.0 && self.rng.gen_bool(self.spike_prob) {
+            base * self.spike_scale
+        } else {
+            base
+        }
+    }
+
+    /// Sample the bandwidth-cost scale factor for one transfer (≥ 1).
+    pub fn beta_factor(&mut self) -> f64 {
+        if self.beta_jitter == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(0.0..self.beta_jitter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let mut n = NoiseModel::new(42, 0.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(n.alpha_factor(), 1.0);
+            assert_eq!(n.beta_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_additive() {
+        let mut n = NoiseModel::new(7, 0.25, 0.5);
+        for _ in 0..1000 {
+            let a = n.alpha_factor();
+            let b = n.beta_factor();
+            assert!((1.0..1.25).contains(&a));
+            assert!((1.0..1.5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn spikes_are_bounded_and_reproducible() {
+        let mut a = NoiseModel::new(5, 0.1, 0.1).with_spikes(0.2, 20.0);
+        let mut b = NoiseModel::new(5, 0.1, 0.1).with_spikes(0.2, 20.0);
+        let mut spiked = 0;
+        for _ in 0..500 {
+            let fa = a.alpha_factor();
+            assert_eq!(fa, b.alpha_factor());
+            assert!(fa >= 1.0);
+            if fa >= 20.0 {
+                spiked += 1;
+            }
+        }
+        // Roughly 20% of samples spike.
+        assert!((50..=150).contains(&spiked), "spiked {spiked}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = NoiseModel::new(99, 0.1, 0.1);
+        let mut b = NoiseModel::new(99, 0.1, 0.1);
+        for _ in 0..100 {
+            assert_eq!(a.alpha_factor(), b.alpha_factor());
+            assert_eq!(a.beta_factor(), b.beta_factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(1, 0.1, 0.1);
+        let mut b = NoiseModel::new(2, 0.1, 0.1);
+        let same = (0..100).all(|_| a.alpha_factor() == b.alpha_factor());
+        assert!(!same);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_jitter_rejected() {
+        NoiseModel::new(0, -0.1, 0.0);
+    }
+}

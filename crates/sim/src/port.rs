@@ -1,0 +1,260 @@
+//! NIC port pools and intranode injection queues.
+//!
+//! Each resource is a serializing queue characterized by when it next becomes
+//! free. Transfers claim a transmit slot on the sender side and a receive
+//! slot on the receiver side; claims are made in global event order, which
+//! the replay engine guarantees by processing one trace operation per event.
+
+use crate::machine::{Machine, PortAssignment};
+use crate::time::SimTime;
+
+/// One direction of one NIC port (full-duplex ports have independent
+/// transmit and receive sides).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortSide {
+    /// When this side next becomes free.
+    pub free_at: SimTime,
+    /// Accumulated busy time (for utilization statistics).
+    pub busy: SimTime,
+}
+
+impl PortSide {
+    /// Claim the port from `ready` for `dur`; returns the claim start time.
+    #[inline]
+    pub fn claim(&mut self, ready: SimTime, dur: SimTime) -> SimTime {
+        let start = ready.max(self.free_at);
+        self.free_at = start + dur;
+        self.busy += dur;
+        start
+    }
+}
+
+/// The NIC ports of every node, plus per-rank intranode injection queues.
+#[derive(Debug)]
+pub struct PortPool {
+    ports_per_node: usize,
+    assignment: PortAssignment,
+    /// `tx[node * ports_per_node + port]`.
+    tx: Vec<PortSide>,
+    rx: Vec<PortSide>,
+    /// Per-rank intranode fabric injection (tx) and landing (rx) queues.
+    intra_tx: Vec<PortSide>,
+    intra_rx: Vec<PortSide>,
+    /// Dragonfly global uplinks, `links_per_group` per group (empty when
+    /// the constraint is disabled).
+    global: Vec<PortSide>,
+    links_per_group: usize,
+}
+
+impl PortPool {
+    /// Build the resource set for `machine`.
+    pub fn new(machine: &Machine) -> Self {
+        let nports = machine.nodes * machine.ports_per_node;
+        let nranks = machine.ranks();
+        let links_per_group = machine.global_links_per_group;
+        let global = if links_per_group == usize::MAX {
+            Vec::new()
+        } else {
+            vec![PortSide::default(); machine.groups() * links_per_group]
+        };
+        PortPool {
+            ports_per_node: machine.ports_per_node,
+            assignment: machine.port_assignment,
+            tx: vec![PortSide::default(); nports],
+            rx: vec![PortSide::default(); nports],
+            intra_tx: vec![PortSide::default(); nranks],
+            intra_rx: vec![PortSide::default(); nranks],
+            global,
+            links_per_group,
+        }
+    }
+
+    /// Claim a global-uplink slot for a transfer leaving `group`. Returns
+    /// the slot start time (identity when the constraint is disabled).
+    pub fn claim_global(&mut self, group: usize, ready: SimTime, dur: SimTime) -> SimTime {
+        if self.global.is_empty() {
+            return ready;
+        }
+        let base = group * self.links_per_group;
+        let idx = (base..base + self.links_per_group)
+            .min_by_key(|&i| self.global[i].free_at)
+            .expect("group has at least one uplink");
+        self.global[idx].claim(ready, dur)
+    }
+
+    fn pick(&self, sides: &[PortSide], node: usize, machine: &Machine, rank: usize) -> usize {
+        let base = node * self.ports_per_node;
+        match self.assignment {
+            PortAssignment::Pinned => base + machine.pinned_port(rank),
+            PortAssignment::Pooled => {
+                // Least-busy port of the node's pool (multi-rail striping).
+                (0..self.ports_per_node)
+                    .map(|i| base + i)
+                    .min_by_key(|&i| sides[i].free_at)
+                    .expect("node has at least one port")
+            }
+        }
+    }
+
+    /// Claim a transmit slot for `rank` on its node's NIC pool.
+    /// Returns the transfer's wire-start time.
+    pub fn claim_tx(
+        &mut self,
+        machine: &Machine,
+        rank: usize,
+        ready: SimTime,
+        dur: SimTime,
+    ) -> SimTime {
+        let node = machine.node_of(rank);
+        let idx = self.pick(&self.tx, node, machine, rank);
+        self.tx[idx].claim(ready, dur)
+    }
+
+    /// Claim a receive slot for `rank` on its node's NIC pool.
+    /// Returns the slot start time.
+    pub fn claim_rx(
+        &mut self,
+        machine: &Machine,
+        rank: usize,
+        ready: SimTime,
+        dur: SimTime,
+    ) -> SimTime {
+        let node = machine.node_of(rank);
+        let idx = self.pick(&self.rx, node, machine, rank);
+        self.rx[idx].claim(ready, dur)
+    }
+
+    /// Claim `rank`'s intranode injection queue.
+    pub fn claim_intra_tx(&mut self, rank: usize, ready: SimTime, dur: SimTime) -> SimTime {
+        self.intra_tx[rank].claim(ready, dur)
+    }
+
+    /// Claim `rank`'s intranode landing queue.
+    pub fn claim_intra_rx(&mut self, rank: usize, ready: SimTime, dur: SimTime) -> SimTime {
+        self.intra_rx[rank].claim(ready, dur)
+    }
+
+    /// Total NIC transmit busy time across all ports (for stats).
+    pub fn total_tx_busy(&self) -> SimTime {
+        self.tx.iter().map(|p| p.busy).sum()
+    }
+
+    /// Peak per-port transmit busy time (for utilization stats).
+    pub fn max_tx_busy(&self) -> SimTime {
+        self.tx
+            .iter()
+            .map(|p| p.busy)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn port_side_serializes_claims() {
+        let mut p = PortSide::default();
+        let s1 = p.claim(SimTime::ns(0.0), SimTime::ns(100.0));
+        assert_eq!(s1, SimTime::ZERO);
+        // Second claim ready at t=10 must wait for the first to finish.
+        let s2 = p.claim(SimTime::ns(10.0), SimTime::ns(50.0));
+        assert_eq!(s2, SimTime::ns(100.0));
+        assert_eq!(p.free_at, SimTime::ns(150.0));
+        assert_eq!(p.busy, SimTime::ns(150.0));
+    }
+
+    #[test]
+    fn idle_port_starts_at_ready() {
+        let mut p = PortSide::default();
+        let s = p.claim(SimTime::ns(500.0), SimTime::ns(10.0));
+        assert_eq!(s, SimTime::ns(500.0));
+    }
+
+    #[test]
+    fn pooled_claims_stripe_across_ports() {
+        let m = Machine::testbed(1, 1, 4);
+        let mut pool = PortPool::new(&m);
+        // Four concurrent claims at t=0 should each land on a fresh port.
+        for _ in 0..4 {
+            let start = pool.claim_tx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+            assert_eq!(start, SimTime::ZERO);
+        }
+        // The fifth serializes behind one of them.
+        let start = pool.claim_tx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+        assert_eq!(start, SimTime::ns(100.0));
+    }
+
+    #[test]
+    fn pinned_claims_share_the_gpu_pair_port() {
+        let mut m = Machine::frontier(1, 8);
+        m.ports_per_node = 4;
+        let mut pool = PortPool::new(&m);
+        // Ranks 0 and 1 share port 0: claims serialize.
+        let s0 = pool.claim_tx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+        let s1 = pool.claim_tx(&m, 1, SimTime::ZERO, SimTime::ns(100.0));
+        assert_eq!(s0, SimTime::ZERO);
+        assert_eq!(s1, SimTime::ns(100.0));
+        // Rank 2 uses port 1: no contention.
+        let s2 = pool.claim_tx(&m, 2, SimTime::ZERO, SimTime::ns(100.0));
+        assert_eq!(s2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tx_and_rx_are_independent() {
+        let m = Machine::testbed(1, 1, 1);
+        let mut pool = PortPool::new(&m);
+        let s_tx = pool.claim_tx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+        let s_rx = pool.claim_rx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+        assert_eq!(s_tx, SimTime::ZERO);
+        assert_eq!(s_rx, SimTime::ZERO);
+    }
+
+    #[test]
+    fn intranode_queues_are_per_rank() {
+        let m = Machine::testbed(1, 4, 1);
+        let mut pool = PortPool::new(&m);
+        let a = pool.claim_intra_tx(0, SimTime::ZERO, SimTime::ns(50.0));
+        let b = pool.claim_intra_tx(1, SimTime::ZERO, SimTime::ns(50.0));
+        let c = pool.claim_intra_tx(0, SimTime::ZERO, SimTime::ns(50.0));
+        assert_eq!(a, SimTime::ZERO);
+        assert_eq!(b, SimTime::ZERO);
+        assert_eq!(c, SimTime::ns(50.0));
+    }
+
+    #[test]
+    fn global_links_disabled_by_default() {
+        let m = Machine::frontier(64, 1);
+        let mut pool = PortPool::new(&m);
+        // Identity passthrough when disabled.
+        let s = pool.claim_global(0, SimTime::ns(42.0), SimTime::ns(1000.0));
+        assert_eq!(s, SimTime::ns(42.0));
+        let s = pool.claim_global(0, SimTime::ns(42.0), SimTime::ns(1000.0));
+        assert_eq!(s, SimTime::ns(42.0));
+    }
+
+    #[test]
+    fn global_links_serialize_when_enabled() {
+        let mut m = Machine::frontier(64, 1);
+        m.global_links_per_group = 1;
+        let mut pool = PortPool::new(&m);
+        let s1 = pool.claim_global(0, SimTime::ZERO, SimTime::ns(100.0));
+        let s2 = pool.claim_global(0, SimTime::ZERO, SimTime::ns(100.0));
+        let s3 = pool.claim_global(1, SimTime::ZERO, SimTime::ns(100.0));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ns(100.0)); // same group serializes
+        assert_eq!(s3, SimTime::ZERO); // other group independent
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let m = Machine::testbed(2, 1, 2);
+        let mut pool = PortPool::new(&m);
+        pool.claim_tx(&m, 0, SimTime::ZERO, SimTime::ns(100.0));
+        pool.claim_tx(&m, 1, SimTime::ZERO, SimTime::ns(300.0));
+        assert_eq!(pool.total_tx_busy(), SimTime::ns(400.0));
+        assert_eq!(pool.max_tx_busy(), SimTime::ns(300.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated time: nanoseconds as `f64` with a total order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// Wraps `f64` with `Ord` via `total_cmp` so it can key the event heap.
+/// Collective latencies span 9 orders of magnitude (ns message overheads to
+/// ms ring broadcasts), comfortably within `f64` precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn ns(v: f64) -> Self {
+        SimTime(v)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn us(v: f64) -> Self {
+        SimTime(v * 1e3)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn ms(v: f64) -> Self {
+        SimTime(v * 1e6)
+    }
+
+    /// Value in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microseconds (the unit the paper's figures use).
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// True if this time is finite and non-negative (sanity checks).
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> Self {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} us", self.as_micros())
+        } else {
+            write!(f, "{:.1} ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimTime::us(1.5).as_nanos(), 1500.0);
+        assert_eq!(SimTime::ms(2.0).as_micros(), 2000.0);
+        assert_eq!(SimTime::ns(250.0).as_micros(), 0.25);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::ns(1.0);
+        let b = SimTime::ns(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let mut v = vec![b, a, SimTime::ZERO];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, a, b]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::us(1.0) + SimTime::ns(500.0);
+        assert_eq!(t.as_nanos(), 1500.0);
+        assert_eq!((t - SimTime::ns(500.0)).as_nanos(), 1000.0);
+        assert_eq!((SimTime::ns(100.0) * 3.0).as_nanos(), 300.0);
+        assert_eq!(SimTime::us(2.0) / SimTime::us(1.0), 2.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::ns(12.0).to_string(), "12.0 ns");
+        assert_eq!(SimTime::us(12.0).to_string(), "12.000 us");
+        assert_eq!(SimTime::ms(1.25).to_string(), "1.250 ms");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(SimTime::ZERO.is_valid());
+        assert!(!SimTime(f64::NAN).is_valid());
+        assert!(!SimTime(-1.0).is_valid());
+    }
+}

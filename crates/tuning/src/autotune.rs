@@ -1,0 +1,170 @@
+//! Simulator-driven autotuner: exhaustive sweep → selection configuration.
+//!
+//! Mirrors §VI-G ("we exhaustively benchmarked every algorithm in MPICH to
+//! determine the optimal algorithm-parameters") and the future-work
+//! direction of §VIII (tying generalized algorithm tuning into autotuning
+//! frameworks).
+
+use crate::config::{SelectionConfig, SelectionRule};
+use exacoll_core::{registry::candidates, Algorithm, CollectiveOp};
+use exacoll_osu::{latency, osu_sizes};
+use exacoll_sim::Machine;
+
+/// Autotune options.
+#[derive(Debug, Clone)]
+pub struct AutotuneOptions {
+    /// Collectives to tune (default: the paper's four).
+    pub ops: Vec<CollectiveOp>,
+    /// Message sizes to probe (default: the OSU ladder).
+    pub sizes: Vec<usize>,
+    /// Largest radix to consider.
+    pub max_k: usize,
+}
+
+impl Default for AutotuneOptions {
+    fn default() -> Self {
+        AutotuneOptions {
+            ops: CollectiveOp::EVALUATED.to_vec(),
+            sizes: osu_sizes(),
+            max_k: 16,
+        }
+    }
+}
+
+/// Best algorithm per probed size for one collective.
+fn tune_op(machine: &Machine, op: CollectiveOp, opts: &AutotuneOptions) -> Vec<(usize, Algorithm)> {
+    let cands = candidates(op, machine.ranks(), opts.max_k);
+    opts.sizes
+        .iter()
+        .map(|&n| {
+            let best = cands
+                .iter()
+                .map(|&alg| {
+                    let t = latency(machine, op, alg, n)
+                        .unwrap_or_else(|e| panic!("autotune {op} {alg} n={n}: {e}"));
+                    (alg, t)
+                })
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one candidate");
+            (n, best.0)
+        })
+        .collect()
+}
+
+/// Merge per-size winners into contiguous size-range rules.
+fn merge_rules(op: CollectiveOp, winners: &[(usize, Algorithm)]) -> Vec<SelectionRule> {
+    let mut rules: Vec<SelectionRule> = Vec::new();
+    let mut start = 0usize;
+    let mut current: Option<Algorithm> = None;
+    for (i, &(n, alg)) in winners.iter().enumerate() {
+        match current {
+            Some(c) if c == alg => {}
+            Some(c) => {
+                rules.push(SelectionRule {
+                    op: op.into(),
+                    min_size: start,
+                    max_size: Some(n),
+                    alg: c.into(),
+                });
+                start = n;
+                current = Some(alg);
+            }
+            None => current = Some(alg),
+        }
+        if i == winners.len() - 1 {
+            rules.push(SelectionRule {
+                op: op.into(),
+                min_size: start,
+                max_size: None,
+                alg: current.expect("winners nonempty").into(),
+            });
+        }
+    }
+    rules
+}
+
+/// Exhaustively sweep the machine and emit a selection configuration.
+pub fn autotune(machine: &Machine, opts: &AutotuneOptions) -> SelectionConfig {
+    let mut rules = Vec::new();
+    for &op in &opts.ops {
+        let winners = tune_op(machine, op, opts);
+        rules.extend(merge_rules(op, &winners));
+    }
+    let cfg = SelectionConfig {
+        machine: machine.name.clone(),
+        ranks: machine.ranks(),
+        rules,
+    };
+    cfg.validate().expect("autotuned config is valid");
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Selector;
+
+    fn small_opts() -> AutotuneOptions {
+        AutotuneOptions {
+            ops: vec![CollectiveOp::Reduce, CollectiveOp::Allreduce],
+            sizes: vec![8, 1024, 65536, 1 << 20],
+            max_k: 8,
+        }
+    }
+
+    #[test]
+    fn autotune_emits_valid_config() {
+        let m = Machine::frontier(8, 1);
+        let cfg = autotune(&m, &small_opts());
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.rules.is_empty());
+        assert_eq!(cfg.ranks, 8);
+        // Round-trips through JSON.
+        let back = SelectionConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn selector_from_autotune_always_answers() {
+        let m = Machine::frontier(8, 1);
+        let sel = Selector::new(autotune(&m, &small_opts())).unwrap();
+        for op in CollectiveOp::EVALUATED {
+            for n in [8usize, 400, 1 << 22] {
+                let alg = sel.select(op, n);
+                assert!(alg.supports(op, 8).is_ok(), "{op} n={n} -> {alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_choice_beats_or_ties_the_fixed_default_it_replaces() {
+        let m = Machine::frontier(8, 1);
+        let opts = small_opts();
+        let sel = Selector::new(autotune(&m, &opts)).unwrap();
+        for &n in &opts.sizes {
+            let tuned = sel.select(CollectiveOp::Reduce, n);
+            let t_tuned = latency(&m, CollectiveOp::Reduce, tuned, n).unwrap();
+            let t_default =
+                latency(&m, CollectiveOp::Reduce, Algorithm::KnomialTree { k: 2 }, n).unwrap();
+            assert!(
+                t_tuned <= t_default,
+                "n={n}: tuned {tuned} {t_tuned} vs default {t_default}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_collapses_contiguous_winners() {
+        let winners = vec![
+            (8usize, Algorithm::KnomialTree { k: 8 }),
+            (64, Algorithm::KnomialTree { k: 8 }),
+            (1024, Algorithm::KnomialTree { k: 2 }),
+        ];
+        let rules = merge_rules(CollectiveOp::Reduce, &winners);
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].min_size, 0);
+        assert_eq!(rules[0].max_size, Some(1024));
+        assert_eq!(rules[1].min_size, 1024);
+        assert_eq!(rules[1].max_size, None);
+    }
+}

@@ -1,0 +1,359 @@
+//! Selection configuration: serializable rules and the runtime selector.
+
+use exacoll_core::{Algorithm, CollectiveOp};
+use serde::{Deserialize, Serialize};
+
+/// Serializable mirror of [`Algorithm`] (the core enum stays serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum AlgSpec {
+    /// Naïve linear.
+    Linear,
+    /// K-nomial tree.
+    Knomial {
+        /// Tree radix.
+        k: usize,
+    },
+    /// Recursive multiplying.
+    RecursiveMultiplying {
+        /// Round-size bound.
+        k: usize,
+    },
+    /// Classic ring.
+    Ring,
+    /// K-ring with group size `k`.
+    Kring {
+        /// Group size.
+        k: usize,
+    },
+    /// Bruck allgather.
+    Bruck,
+    /// K-nomial reduce + bcast.
+    ReduceBcast {
+        /// Tree radix.
+        k: usize,
+    },
+    /// K-dissemination barrier.
+    Dissemination {
+        /// Fan-out radix.
+        k: usize,
+    },
+    /// Hierarchical SMP-aware allreduce.
+    Hierarchical {
+        /// Processes per node.
+        ppn: usize,
+        /// Leader-phase radix.
+        k: usize,
+    },
+    /// Pairwise-exchange alltoall.
+    Pairwise,
+    /// Radix-`r` Bruck alltoall.
+    GeneralizedBruck {
+        /// Digit radix.
+        r: usize,
+    },
+}
+
+impl From<Algorithm> for AlgSpec {
+    fn from(a: Algorithm) -> Self {
+        match a {
+            Algorithm::Linear => AlgSpec::Linear,
+            Algorithm::KnomialTree { k } => AlgSpec::Knomial { k },
+            Algorithm::RecursiveMultiplying { k } => AlgSpec::RecursiveMultiplying { k },
+            Algorithm::Ring => AlgSpec::Ring,
+            Algorithm::KRing { k } => AlgSpec::Kring { k },
+            Algorithm::Bruck => AlgSpec::Bruck,
+            Algorithm::ReduceBcast { k } => AlgSpec::ReduceBcast { k },
+            Algorithm::Dissemination { k } => AlgSpec::Dissemination { k },
+            Algorithm::Hierarchical { ppn, k } => AlgSpec::Hierarchical { ppn, k },
+            Algorithm::Pairwise => AlgSpec::Pairwise,
+            Algorithm::GeneralizedBruck { r } => AlgSpec::GeneralizedBruck { r },
+        }
+    }
+}
+
+impl From<AlgSpec> for Algorithm {
+    fn from(s: AlgSpec) -> Self {
+        match s {
+            AlgSpec::Linear => Algorithm::Linear,
+            AlgSpec::Knomial { k } => Algorithm::KnomialTree { k },
+            AlgSpec::RecursiveMultiplying { k } => Algorithm::RecursiveMultiplying { k },
+            AlgSpec::Ring => Algorithm::Ring,
+            AlgSpec::Kring { k } => Algorithm::KRing { k },
+            AlgSpec::Bruck => Algorithm::Bruck,
+            AlgSpec::ReduceBcast { k } => Algorithm::ReduceBcast { k },
+            AlgSpec::Dissemination { k } => Algorithm::Dissemination { k },
+            AlgSpec::Hierarchical { ppn, k } => Algorithm::Hierarchical { ppn, k },
+            AlgSpec::Pairwise => Algorithm::Pairwise,
+            AlgSpec::GeneralizedBruck { r } => Algorithm::GeneralizedBruck { r },
+        }
+    }
+}
+
+/// Serializable mirror of [`CollectiveOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum OpSpec {
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Reduce`.
+    Reduce,
+    /// `MPI_Gather`.
+    Gather,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// `MPI_Reduce_scatter_block`.
+    ReduceScatter,
+}
+
+impl From<CollectiveOp> for OpSpec {
+    fn from(op: CollectiveOp) -> Self {
+        match op {
+            CollectiveOp::Bcast => OpSpec::Bcast,
+            CollectiveOp::Reduce => OpSpec::Reduce,
+            CollectiveOp::Gather => OpSpec::Gather,
+            CollectiveOp::Allgather => OpSpec::Allgather,
+            CollectiveOp::Allreduce => OpSpec::Allreduce,
+            CollectiveOp::Barrier => OpSpec::Barrier,
+            CollectiveOp::Alltoall => OpSpec::Alltoall,
+            CollectiveOp::ReduceScatter => OpSpec::ReduceScatter,
+        }
+    }
+}
+
+impl From<OpSpec> for CollectiveOp {
+    fn from(s: OpSpec) -> Self {
+        match s {
+            OpSpec::Bcast => CollectiveOp::Bcast,
+            OpSpec::Reduce => CollectiveOp::Reduce,
+            OpSpec::Gather => CollectiveOp::Gather,
+            OpSpec::Allgather => CollectiveOp::Allgather,
+            OpSpec::Allreduce => CollectiveOp::Allreduce,
+            OpSpec::Barrier => CollectiveOp::Barrier,
+            OpSpec::Alltoall => CollectiveOp::Alltoall,
+            OpSpec::ReduceScatter => CollectiveOp::ReduceScatter,
+        }
+    }
+}
+
+/// One selection rule: for `op`, message sizes in `[min_size, max_size)`
+/// (`max_size` = `None` means unbounded) use `alg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionRule {
+    /// Collective this rule applies to.
+    pub op: OpSpec,
+    /// Inclusive lower bound on per-rank message size (bytes).
+    pub min_size: usize,
+    /// Exclusive upper bound; `None` = unbounded.
+    pub max_size: Option<usize>,
+    /// Algorithm to run.
+    pub alg: AlgSpec,
+}
+
+impl SelectionRule {
+    fn matches(&self, op: CollectiveOp, n: usize) -> bool {
+        OpSpec::from(op) == self.op
+            && n >= self.min_size
+            && self.max_size.is_none_or(|m| n < m)
+    }
+}
+
+/// A machine-specific selection configuration (the §VI-G artifact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Machine the configuration was tuned for.
+    pub machine: String,
+    /// Rank count the configuration was tuned for.
+    pub ranks: usize,
+    /// Ordered rules; the first match wins.
+    pub rules: Vec<SelectionRule>,
+}
+
+impl SelectionConfig {
+    /// Serialize to pretty JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Parse from JSON, validating that every rule's algorithm supports its
+    /// collective at the configured rank count.
+    pub fn from_json(json: &str) -> Result<SelectionConfig, String> {
+        let cfg: SelectionConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check every rule is runnable at `self.ranks`.
+    pub fn validate(&self) -> Result<(), String> {
+        for rule in &self.rules {
+            let alg: Algorithm = rule.alg.into();
+            let op: CollectiveOp = rule.op.into();
+            alg.supports(op, self.ranks)
+                .map_err(|e| format!("invalid rule {rule:?}: {e}"))?;
+            if let Some(max) = rule.max_size {
+                if max <= rule.min_size {
+                    return Err(format!("empty size range in rule {rule:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime selector over a config, with sane fallbacks for unmatched
+/// queries (binomial trees / recursive doubling / ring, MPICH's defaults).
+#[derive(Debug, Clone)]
+pub struct Selector {
+    config: SelectionConfig,
+}
+
+impl Selector {
+    /// Wrap a validated config.
+    pub fn new(config: SelectionConfig) -> Result<Selector, String> {
+        config.validate()?;
+        Ok(Selector { config })
+    }
+
+    /// The algorithm to run for `op` at per-rank size `n`.
+    pub fn select(&self, op: CollectiveOp, n: usize) -> Algorithm {
+        for rule in &self.config.rules {
+            if rule.matches(op, n) {
+                return rule.alg.into();
+            }
+        }
+        // MPICH-style defaults when no rule matches.
+        match op {
+            CollectiveOp::Bcast | CollectiveOp::Reduce | CollectiveOp::Gather => {
+                Algorithm::KnomialTree { k: 2 }
+            }
+            CollectiveOp::Allgather => Algorithm::Ring,
+            CollectiveOp::Allreduce => Algorithm::RecursiveMultiplying { k: 2 },
+            CollectiveOp::Barrier => Algorithm::Dissemination { k: 2 },
+            CollectiveOp::Alltoall => Algorithm::Pairwise,
+            CollectiveOp::ReduceScatter => Algorithm::Ring,
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SelectionConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SelectionConfig {
+        SelectionConfig {
+            machine: "frontier-128x1".into(),
+            ranks: 128,
+            rules: vec![
+                SelectionRule {
+                    op: OpSpec::Reduce,
+                    min_size: 0,
+                    max_size: Some(65536),
+                    alg: AlgSpec::Knomial { k: 64 },
+                },
+                SelectionRule {
+                    op: OpSpec::Reduce,
+                    min_size: 65536,
+                    max_size: None,
+                    alg: AlgSpec::Knomial { k: 2 },
+                },
+                SelectionRule {
+                    op: OpSpec::Allreduce,
+                    min_size: 0,
+                    max_size: None,
+                    alg: AlgSpec::RecursiveMultiplying { k: 4 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = sample();
+        let json = cfg.to_json();
+        let back = SelectionConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+        assert!(json.contains("\"kind\": \"knomial\""));
+    }
+
+    #[test]
+    fn selector_picks_by_size() {
+        let sel = Selector::new(sample()).unwrap();
+        assert_eq!(
+            sel.select(CollectiveOp::Reduce, 8),
+            Algorithm::KnomialTree { k: 64 }
+        );
+        assert_eq!(
+            sel.select(CollectiveOp::Reduce, 1 << 20),
+            Algorithm::KnomialTree { k: 2 }
+        );
+        assert_eq!(
+            sel.select(CollectiveOp::Allreduce, 512),
+            Algorithm::RecursiveMultiplying { k: 4 }
+        );
+        // Unmatched op falls back to the MPICH default.
+        assert_eq!(sel.select(CollectiveOp::Allgather, 512), Algorithm::Ring);
+    }
+
+    #[test]
+    fn validation_rejects_unsupported_rules() {
+        let mut cfg = sample();
+        cfg.rules.push(SelectionRule {
+            op: OpSpec::Allgather,
+            min_size: 0,
+            max_size: None,
+            alg: AlgSpec::Kring { k: 300 }, // exceeds the 128 ranks
+        });
+        assert!(cfg.validate().is_err());
+        assert!(Selector::new(cfg).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_ranges() {
+        let mut cfg = sample();
+        cfg.rules.push(SelectionRule {
+            op: OpSpec::Bcast,
+            min_size: 100,
+            max_size: Some(100),
+            alg: AlgSpec::Ring,
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(SelectionConfig::from_json("{not json").is_err());
+        assert!(SelectionConfig::from_json("{\"machine\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn algspec_conversion_roundtrips() {
+        for alg in [
+            Algorithm::Linear,
+            Algorithm::KnomialTree { k: 5 },
+            Algorithm::RecursiveMultiplying { k: 3 },
+            Algorithm::Ring,
+            Algorithm::KRing { k: 8 },
+            Algorithm::Bruck,
+            Algorithm::ReduceBcast { k: 2 },
+            Algorithm::Dissemination { k: 3 },
+            Algorithm::Hierarchical { ppn: 4, k: 4 },
+            Algorithm::Pairwise,
+            Algorithm::GeneralizedBruck { r: 3 },
+        ] {
+            let spec: AlgSpec = alg.into();
+            let back: Algorithm = spec.into();
+            assert_eq!(alg, back);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # exacoll-tuning — algorithm/radix selection configuration
+//!
+//! §VI-G of the paper: "we created a new algorithm/parameter selection
+//! configuration file that incorporates our generalized algorithms. Just by
+//! changing one environment variable … MPICH users can automatically and
+//! transparently leverage the speedups."
+//!
+//! This crate provides that machinery:
+//!
+//! * [`SelectionConfig`] — a JSON-serializable table mapping
+//!   (collective, message-size range) to an algorithm + radix, in the
+//!   spirit of MPICH's CVAR tuning files.
+//! * [`autotune()`](autotune::autotune) — generates a config by exhaustively sweeping every
+//!   candidate algorithm/radix on the simulator (the paper's §VI-G
+//!   methodology: "we exhaustively benchmarked every algorithm … to
+//!   determine the optimal algorithm-parameters").
+//! * [`Selector`] — runtime lookup with fallback defaults.
+
+pub mod autotune;
+pub mod config;
+
+pub use autotune::{autotune, AutotuneOptions};
+pub use config::{AlgSpec, SelectionConfig, SelectionRule, Selector};

@@ -1,0 +1,49 @@
+//! Autotune a simulated machine and emit the §VI-G selection configuration.
+//!
+//! "Just by changing one environment variable to point to our new
+//! configuration, MPICH users can automatically and transparently leverage
+//! the speedups we uncover in this work."
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use exacoll::collectives::CollectiveOp;
+use exacoll::osu::{latency, Table};
+use exacoll::sim::Machine;
+use exacoll::tuning::{autotune, AutotuneOptions, Selector};
+
+fn main() {
+    let machine = Machine::frontier(32, 1);
+    let opts = AutotuneOptions {
+        ops: CollectiveOp::EVALUATED.to_vec(),
+        sizes: (3..=20).step_by(2).map(|e| 1usize << e).collect(),
+        max_k: 16,
+    };
+    println!("autotuning {} over {} sizes ...", machine.name, opts.sizes.len());
+    let cfg = autotune(&machine, &opts);
+
+    let path = format!("/tmp/exacoll_selection_{}.json", machine.name);
+    std::fs::write(&path, cfg.to_json()).expect("config written");
+    println!("selection configuration written to {path}\n");
+
+    let sel = Selector::new(cfg).expect("valid config");
+    let mut t = Table::new(
+        "What the tuned selection picks (and buys vs MPICH defaults)",
+        &["collective", "size", "selected", "speedup vs default"],
+    );
+    for op in CollectiveOp::EVALUATED {
+        for &n in &[8usize, 32 * 1024, 1 << 20] {
+            let alg = sel.select(op, n);
+            let tuned = latency(&machine, op, alg, n).expect("runs");
+            let base = latency(&machine, op, alg.base(), n).expect("runs");
+            t.row(vec![
+                op.to_string(),
+                exacoll::osu::sweep::fmt_size(n),
+                alg.to_string(),
+                format!("{:.2}x", base / tuned),
+            ]);
+        }
+    }
+    t.print();
+}

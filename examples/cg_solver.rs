@@ -1,0 +1,112 @@
+//! A distributed conjugate-gradient solver built on the generalized
+//! collectives, running with *real data* on the threaded runtime.
+//!
+//! This is the kind of workload the paper's introduction motivates: an
+//! iterative solver whose every iteration performs `MPI_Allreduce` dot
+//! products (here via recursive multiplying) — the collective the paper
+//! reports as the most popular for exascale applications.
+//!
+//! Solves a 1-D Laplacian system `A x = b` distributed over 8 rank-threads
+//! and checks convergence against the known solution.
+//!
+//! ```text
+//! cargo run --release --example cg_solver
+//! ```
+
+use exacoll::collectives::allreduce::allreduce_recmult;
+use exacoll::comm::{buffer, run_ranks, Comm, CommResult, DType, ReduceOp, ThreadComm};
+
+const RANKS: usize = 8;
+const LOCAL_N: usize = 64; // unknowns per rank
+const RADIX: usize = 4; // recursive-multiplying radix
+
+/// Global dot product via recursive-multiplying allreduce.
+fn dot<C: Comm>(c: &mut C, a: &[f64], b: &[f64]) -> CommResult<f64> {
+    let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let out = allreduce_recmult(
+        c,
+        RADIX,
+        &local.to_le_bytes(),
+        DType::F64,
+        ReduceOp::Sum,
+    )?;
+    Ok(buffer::bytes_f64(&out)[0])
+}
+
+/// Apply the 1-D Laplacian (tridiagonal [-1, 2, -1]) to the distributed
+/// vector `x`, exchanging halo values with neighbor ranks.
+fn apply_laplacian(c: &mut ThreadComm, x: &[f64]) -> CommResult<Vec<f64>> {
+    let me = c.rank();
+    let p = c.size();
+    let n = x.len();
+    // Halo exchange: send boundary entries to neighbors.
+    let mut left_halo = 0.0;
+    let mut right_halo = 0.0;
+    if me > 0 {
+        c.send(me - 1, 1, x[0].to_le_bytes().to_vec())?;
+    }
+    if me < p - 1 {
+        c.send(me + 1, 2, x[n - 1].to_le_bytes().to_vec())?;
+    }
+    if me < p - 1 {
+        right_halo = buffer::bytes_f64(&c.recv(me + 1, 1, 8)?)[0];
+    }
+    if me > 0 {
+        left_halo = buffer::bytes_f64(&c.recv(me - 1, 2, 8)?)[0];
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let l = if i == 0 { left_halo } else { x[i - 1] };
+        let r = if i == n - 1 { right_halo } else { x[i + 1] };
+        y[i] = 2.0 * x[i] - l - r;
+    }
+    Ok(y)
+}
+
+fn main() {
+    let results = run_ranks(RANKS, |c| {
+        // Right-hand side chosen so the exact solution is known to be
+        // x*_i = sin(pi * (i+1) / (N+1)) scaled; we just use b = A * ones
+        // so the solution is the all-ones vector.
+        let ones = vec![1.0f64; LOCAL_N];
+        let b = apply_laplacian(c, &ones)?;
+
+        let mut x = vec![0.0f64; LOCAL_N];
+        let mut r = b.clone();
+        let mut pdir = r.clone();
+        let mut rs_old = dot(c, &r, &r)?;
+        let mut iters = 0usize;
+        for _ in 0..2000 {
+            iters += 1;
+            let ap = apply_laplacian(c, &pdir)?;
+            let alpha = rs_old / dot(c, &pdir, &ap)?;
+            for i in 0..LOCAL_N {
+                x[i] += alpha * pdir[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs_new = dot(c, &r, &r)?;
+            if rs_new.sqrt() < 1e-10 {
+                rs_old = rs_new;
+                break;
+            }
+            let beta = rs_new / rs_old;
+            for i in 0..LOCAL_N {
+                pdir[i] = r[i] + beta * pdir[i];
+            }
+            rs_old = rs_new;
+        }
+        let err: f64 = x
+            .iter()
+            .map(|v| (v - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        Ok((iters, rs_old.sqrt(), err))
+    });
+
+    let (iters, residual, err) = results[0];
+    println!("conjugate gradient over {RANKS} ranks x {LOCAL_N} unknowns");
+    println!("  iterations:      {iters}");
+    println!("  final residual:  {residual:.3e}");
+    println!("  max |x - x*|:    {err:.3e}");
+    assert!(err < 1e-6, "CG failed to converge to the exact solution");
+    println!("  converged to the exact solution using recmult({RADIX}) allreduce");
+}

@@ -1,0 +1,44 @@
+//! # exacoll — Generalized Collective Algorithms for the Exascale Era
+//!
+//! A from-scratch Rust reproduction of Wilkins et al., *"Generalized
+//! Collective Algorithms for the Exascale Era"* (IEEE CLUSTER 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`comm`] — MPI-like point-to-point layer (threaded real-data runtime +
+//!   trace recorder).
+//! * [`sim`] — discrete-event simulator of exascale machines (multi-port
+//!   NICs, intranode fabric, dragonfly topology).
+//! * [`collectives`] — the paper's contribution: k-nomial, recursive
+//!   multiplying, and k-ring generalized kernels plus classical baselines.
+//! * [`models`] — the paper's analytical α-β-γ cost models (Eqs. 1–14).
+//! * [`tuning`] — algorithm/radix selection configuration and autotuner.
+//! * [`osu`] — OSU-style microbenchmark harness and vendor baseline policy.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use exacoll::collectives::{Algorithm, CollectiveOp};
+//! use exacoll::osu::run_collective_timed;
+//! use exacoll::sim::Machine;
+//!
+//! // Time a k-nomial (radix 8) broadcast of 1 KiB across a simulated
+//! // 128-node Frontier partition, one rank per node.
+//! let machine = Machine::frontier(128, 1);
+//! let t = run_collective_timed(
+//!     &machine,
+//!     CollectiveOp::Bcast,
+//!     Algorithm::KnomialTree { k: 8 },
+//!     1024,
+//!     0,
+//! )
+//! .unwrap();
+//! assert!(t.as_micros() > 0.0);
+//! ```
+
+pub use exacoll_comm as comm;
+pub use exacoll_core as collectives;
+pub use exacoll_models as models;
+pub use exacoll_osu as osu;
+pub use exacoll_sim as sim;
+pub use exacoll_tuning as tuning;

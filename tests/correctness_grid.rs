@@ -1,0 +1,223 @@
+//! The correctness grid: every algorithm × collective × process count ×
+//! radix × root × datatype/operator combination runs with randomized real
+//! data on the threaded runtime and must match the sequential reference.
+//!
+//! This is the reproduction of §VI-A's "largest burden … ensuring
+//! correctness for the many corner cases induced by our generalizations".
+
+use exacoll::collectives::reference::expected_outputs;
+use exacoll::collectives::{execute, registry::candidates, Algorithm, CollArgs, CollectiveOp};
+use exacoll::comm::{run_ranks, Comm, DType, ReduceOp, TypedBuf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random inputs that are exactly representable in every datatype (small
+/// non-negative integers), so float reductions are associativity-proof.
+fn random_inputs(p: usize, count: usize, dtype: DType, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..p)
+        .map(|_| {
+            let vals: Vec<f64> = (0..count).map(|_| rng.gen_range(0..7) as f64).collect();
+            TypedBuf::from_f64s(dtype, &vals).bytes
+        })
+        .collect()
+}
+
+fn check_grid_point(
+    op: CollectiveOp,
+    alg: Algorithm,
+    p: usize,
+    root: usize,
+    count: usize,
+    dtype: DType,
+    rop: ReduceOp,
+    seed: u64,
+) {
+    // Alltoall contributes p blocks of `count` elements; everything else
+    // contributes a single `count`-element vector.
+    let count = if op == CollectiveOp::Alltoall {
+        count * p
+    } else {
+        count
+    };
+    let inputs = random_inputs(p, count, dtype, seed);
+    let expect = expected_outputs(op, root, dtype, rop, &inputs).expect("reference computes");
+    let args = CollArgs {
+        op,
+        alg,
+        root,
+        dtype,
+        rop,
+    };
+    let out = run_ranks(p, |c| execute(c, &args, &inputs[c.rank()]));
+    for (r, o) in out.iter().enumerate() {
+        assert_eq!(
+            o, &expect[r],
+            "mismatch: {op} {alg} p={p} root={root} rank={r} {dtype} {rop}"
+        );
+    }
+}
+
+#[test]
+fn every_candidate_every_collective_small_counts() {
+    // Every supported (op, algorithm) pair across a spread of process
+    // counts including primes, powers of two, and k-smooth composites.
+    let mut cases = 0;
+    for p in [2usize, 3, 4, 6, 7, 8, 9, 12, 16] {
+        for op in CollectiveOp::ALL {
+            for alg in candidates(op, p, 5) {
+                check_grid_point(op, alg, p, 0, 6, DType::I64, ReduceOp::Sum, 42 + p as u64);
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases > 150, "grid should be dense, got {cases} cases");
+}
+
+#[test]
+fn rotated_roots_for_rooted_collectives() {
+    for op in [CollectiveOp::Bcast, CollectiveOp::Reduce, CollectiveOp::Gather] {
+        for p in [5usize, 9, 12] {
+            for root in [1, p / 2, p - 1] {
+                for alg in candidates(op, p, 4) {
+                    check_grid_point(op, alg, p, root, 5, DType::I32, ReduceOp::Sum, 7);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_dtype_and_operator_through_allreduce() {
+    for dtype in DType::ALL {
+        for rop in ReduceOp::ALL {
+            if !rop.supports(dtype) {
+                continue;
+            }
+            check_grid_point(
+                CollectiveOp::Allreduce,
+                Algorithm::RecursiveMultiplying { k: 3 },
+                9,
+                0,
+                8,
+                dtype,
+                rop,
+                99,
+            );
+            check_grid_point(
+                CollectiveOp::Allreduce,
+                Algorithm::Ring,
+                7,
+                0,
+                8,
+                dtype,
+                rop,
+                100,
+            );
+        }
+    }
+}
+
+#[test]
+fn large_radixes_and_flat_trees() {
+    for p in [8usize, 13, 16] {
+        check_grid_point(
+            CollectiveOp::Reduce,
+            Algorithm::KnomialTree { k: p },
+            p,
+            0,
+            4,
+            DType::F64,
+            ReduceOp::Sum,
+            1,
+        );
+        check_grid_point(
+            CollectiveOp::Bcast,
+            Algorithm::KnomialTree { k: p },
+            p,
+            p - 1,
+            4,
+            DType::U8,
+            ReduceOp::Sum,
+            2,
+        );
+    }
+}
+
+#[test]
+fn kring_divisible_configurations() {
+    for (p, k) in [(6usize, 2usize), (6, 3), (6, 6), (8, 4), (12, 4), (16, 8), (16, 2)] {
+        for op in [CollectiveOp::Bcast, CollectiveOp::Allgather, CollectiveOp::Allreduce] {
+            check_grid_point(op, Algorithm::KRing { k }, p, 0, 9, DType::I64, ReduceOp::Sum, 5);
+        }
+    }
+}
+
+#[test]
+fn recmult_fold_heavy_counts() {
+    // Primes and non-smooth counts stress the fold/unfold corner cases.
+    for (p, k) in [(5usize, 2usize), (7, 3), (11, 2), (13, 4), (17, 4), (19, 3)] {
+        for op in [CollectiveOp::Bcast, CollectiveOp::Allgather, CollectiveOp::Allreduce] {
+            check_grid_point(
+                op,
+                Algorithm::RecursiveMultiplying { k },
+                p,
+                0,
+                7,
+                DType::I32,
+                ReduceOp::Sum,
+                p as u64,
+            );
+        }
+    }
+}
+
+#[test]
+fn payload_sizes_that_stress_block_splits() {
+    // Sizes smaller than p, not divisible by p, and zero.
+    for count in [0usize, 1, 3, 13] {
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KRing { k: 3 },
+            Algorithm::RecursiveMultiplying { k: 4 },
+        ] {
+            check_grid_point(
+                CollectiveOp::Allreduce,
+                alg,
+                9,
+                0,
+                count,
+                DType::F32,
+                ReduceOp::Max,
+                3,
+            );
+        }
+        check_grid_point(
+            CollectiveOp::Bcast,
+            Algorithm::Ring,
+            9,
+            4,
+            count,
+            DType::U8,
+            ReduceOp::Sum,
+            4,
+        );
+    }
+}
+
+#[test]
+fn moderately_large_communicator() {
+    // 48 rank-threads exercise deeper trees and longer rings.
+    for alg in [
+        Algorithm::KnomialTree { k: 4 },
+        Algorithm::RecursiveMultiplying { k: 4 },
+        Algorithm::KRing { k: 8 },
+    ] {
+        for op in CollectiveOp::EVALUATED {
+            if alg.supports(op, 48).is_err() {
+                continue;
+            }
+            check_grid_point(op, alg, 48, 0, 16, DType::I64, ReduceOp::Sum, 11);
+        }
+    }
+}
