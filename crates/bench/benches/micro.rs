@@ -1,104 +1,117 @@
-//! Criterion micro-benchmarks of the library implementation itself:
-//! reduction kernels, tree construction, trace recording, and simulator
-//! replay throughput. These measure *this library's* wall-clock costs
-//! (the figure benches measure simulated virtual time).
+//! Micro-benchmarks of the library implementation itself: reduction
+//! kernels, tree construction, trace recording, and simulator replay
+//! throughput. These measure *this library's* wall-clock costs (the
+//! figure benches measure simulated virtual time).
+//!
+//! Plain harness (no criterion: the build environment is offline):
+//! each case warms up briefly, then reports the best-of-N mean.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use exacoll_comm::{reduce_into, DType, ReduceOp};
 use exacoll_core::topo::KnomialTree;
 use exacoll_core::{Algorithm, CollectiveOp};
 use exacoll_osu::measure::record_collective;
 use exacoll_sim::{simulate, Machine};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_reduce_into(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reduce_into");
-    for n in [1024usize, 64 * 1024, 1 << 20] {
-        g.throughput(Throughput::Bytes(n as u64));
-        g.bench_with_input(BenchmarkId::new("f64_sum", n), &n, |b, &n| {
-            let mut acc = vec![1u8; n];
-            let src = vec![2u8; n];
-            b.iter(|| reduce_into(DType::F64, ReduceOp::Sum, black_box(&mut acc), &src).unwrap());
-        });
-        g.bench_with_input(BenchmarkId::new("i32_max", n), &n, |b, &n| {
-            let mut acc = vec![1u8; n];
-            let src = vec![2u8; n];
-            b.iter(|| reduce_into(DType::I32, ReduceOp::Max, black_box(&mut acc), &src).unwrap());
-        });
+/// Time `f` with a short warm-up; returns mean ns/iter over the best batch.
+fn bench<F: FnMut()>(name: &str, bytes: Option<u64>, mut f: F) {
+    for _ in 0..3 {
+        f();
     }
-    g.finish();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let iters = 10u32;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    match bytes {
+        Some(b) => {
+            let gibps = b as f64 / best; // bytes/ns == GB/s
+            println!("{name:<44} {best:>12.0} ns/iter  {gibps:>8.2} GB/s");
+        }
+        None => println!("{name:<44} {best:>12.0} ns/iter"),
+    }
 }
 
-fn bench_tree_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("knomial_tree");
+fn bench_reduce_into() {
+    for n in [1024usize, 64 * 1024, 1 << 20] {
+        let mut acc = vec![1u8; n];
+        let src = vec![2u8; n];
+        bench(&format!("reduce_into/f64_sum/{n}"), Some(n as u64), || {
+            reduce_into(DType::F64, ReduceOp::Sum, black_box(&mut acc), &src).unwrap();
+        });
+        let mut acc = vec![1u8; n];
+        bench(&format!("reduce_into/i32_max/{n}"), Some(n as u64), || {
+            reduce_into(DType::I32, ReduceOp::Max, black_box(&mut acc), &src).unwrap();
+        });
+    }
+}
+
+fn bench_tree_construction() {
     for (p, k) in [(1024usize, 2usize), (1024, 8), (16384, 16)] {
-        g.bench_with_input(
-            BenchmarkId::new("children_all_ranks", format!("p{p}_k{k}")),
-            &(p, k),
-            |b, &(p, k)| {
-                let t = KnomialTree::new(p, k);
-                b.iter(|| {
-                    let mut total = 0usize;
-                    for v in 0..p {
-                        total += t.children(black_box(v)).len();
-                    }
-                    total
-                });
+        let t = KnomialTree::new(p, k);
+        bench(
+            &format!("knomial_tree/children_all_ranks/p{p}_k{k}"),
+            None,
+            || {
+                let mut total = 0usize;
+                for v in 0..p {
+                    total += t.children(black_box(v)).len();
+                }
+                black_box(total);
             },
         );
     }
-    g.finish();
 }
 
-fn bench_trace_recording(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_record");
-    g.bench_function("allreduce_recmult_k4_p128_8B", |b| {
-        b.iter(|| {
-            record_collective(
-                128,
-                CollectiveOp::Allreduce,
-                Algorithm::RecursiveMultiplying { k: 4 },
-                8,
-                0,
-            )
-        });
+fn bench_trace_recording() {
+    bench("trace_record/allreduce_recmult_k4_p128_8B", None, || {
+        black_box(record_collective(
+            128,
+            CollectiveOp::Allreduce,
+            Algorithm::RecursiveMultiplying { k: 4 },
+            8,
+            0,
+        ));
     });
-    g.bench_function("bcast_knomial_k8_p1024_8B", |b| {
-        b.iter(|| {
-            record_collective(1024, CollectiveOp::Bcast, Algorithm::KnomialTree { k: 8 }, 8, 0)
-        });
+    bench("trace_record/bcast_knomial_k8_p1024_8B", None, || {
+        black_box(record_collective(
+            1024,
+            CollectiveOp::Bcast,
+            Algorithm::KnomialTree { k: 8 },
+            8,
+            0,
+        ));
     });
-    g.finish();
 }
 
-fn bench_replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_replay");
+fn bench_replay() {
     let m = Machine::frontier(128, 1);
-    let traces = record_collective(
-        128,
-        CollectiveOp::Allgather,
-        Algorithm::Ring,
-        1024,
-        0,
-    );
+    let traces = record_collective(128, CollectiveOp::Allgather, Algorithm::Ring, 1024, 0);
     let events = simulate(&m, &traces).unwrap().stats.events;
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("ring_allgather_p128", |b| {
-        b.iter(|| simulate(black_box(&m), black_box(&traces)).unwrap().makespan);
-    });
-    g.finish();
+    bench(
+        &format!("sim_replay/ring_allgather_p128 ({events} events)"),
+        None,
+        || {
+            black_box(
+                simulate(black_box(&m), black_box(&traces))
+                    .unwrap()
+                    .makespan,
+            );
+        },
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
-    targets = bench_reduce_into,
-        bench_tree_construction,
-        bench_trace_recording,
-        bench_replay
+fn main() {
+    bench_reduce_into();
+    bench_tree_construction();
+    bench_trace_recording();
+    bench_replay();
 }
-criterion_main!(benches);

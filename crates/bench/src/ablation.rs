@@ -55,7 +55,12 @@ pub fn ports_ablation(nodes: usize) -> Table {
 pub fn buffering_ablation(nodes: usize) -> Table {
     let mut t = Table::new(
         "Ablation: send-buffer depth vs optimal k-nomial radix (8B bcast)",
-        &["buffer depth", "optimal k", "k=2 latency (us)", "best latency (us)"],
+        &[
+            "buffer depth",
+            "optimal k",
+            "k=2 latency (us)",
+            "best latency (us)",
+        ],
     );
     let base = Machine::frontier(nodes, 1);
     let p = base.ranks();
@@ -66,7 +71,13 @@ pub fn buffering_ablation(nodes: usize) -> Table {
     for depth in [1usize, 2, 4, usize::MAX] {
         let mut m = base.clone();
         m.send_buffer_depth = depth;
-        let k = best_k(&m, CollectiveOp::Bcast, |k| Algorithm::KnomialTree { k }, &ks, 8);
+        let k = best_k(
+            &m,
+            CollectiveOp::Bcast,
+            |k| Algorithm::KnomialTree { k },
+            &ks,
+            8,
+        );
         let t2 = latency(&m, CollectiveOp::Bcast, Algorithm::KnomialTree { k: 2 }, 8).unwrap();
         let tb = latency(&m, CollectiveOp::Bcast, Algorithm::KnomialTree { k }, 8).unwrap();
         let label = if depth == usize::MAX {
@@ -94,8 +105,7 @@ pub fn rendezvous_ablation(nodes: usize) -> Table {
         let mut m = Machine::frontier(nodes, 8);
         m.rendezvous_threshold = threshold;
         let ring = latency(&m, CollectiveOp::Bcast, Algorithm::Ring, 16 << 20).unwrap();
-        let kring =
-            latency(&m, CollectiveOp::Bcast, Algorithm::KRing { k: 8 }, 16 << 20).unwrap();
+        let kring = latency(&m, CollectiveOp::Bcast, Algorithm::KRing { k: 8 }, 16 << 20).unwrap();
         t.row(vec![
             label.to_string(),
             format!("{:.0}", ring.as_micros()),
@@ -117,8 +127,7 @@ pub fn fabric_gap_ablation(nodes: usize) -> Table {
         let mut m = Machine::frontier(nodes, 8);
         m.intra.alpha_ns = alpha;
         let ring = latency(&m, CollectiveOp::Bcast, Algorithm::Ring, 16 << 20).unwrap();
-        let kring =
-            latency(&m, CollectiveOp::Bcast, Algorithm::KRing { k: 8 }, 16 << 20).unwrap();
+        let kring = latency(&m, CollectiveOp::Bcast, Algorithm::KRing { k: 8 }, 16 << 20).unwrap();
         t.row(vec![format!("{alpha:.0}"), format!("{:.2}x", ring / kring)]);
     }
     t
@@ -149,7 +158,14 @@ mod tests {
         let speedups: Vec<f64> = csv
             .lines()
             .skip(1)
-            .map(|l| l.rsplit(',').next().unwrap().trim_end_matches('x').parse().unwrap())
+            .map(|l| {
+                l.rsplit(',')
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert!(
             speedups[0] > speedups[1] + 0.1,
@@ -169,7 +185,10 @@ mod tests {
             .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
             .collect();
         // More ports must never shrink the optimal radix.
-        assert!(ks.windows(2).all(|w| w[0] <= w[1]), "optima {ks:?} not monotone");
+        assert!(
+            ks.windows(2).all(|w| w[0] <= w[1]),
+            "optima {ks:?} not monotone"
+        );
         assert!(ks[0] <= 3, "1-port optimum should be small, got {}", ks[0]);
     }
 }

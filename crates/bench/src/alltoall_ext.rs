@@ -28,7 +28,10 @@ pub fn panel(machine: &Machine, sizes: &[usize]) -> Table {
     header.extend(sizes.iter().map(|&n| fmt_size(n)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(
-        format!("Extension: alltoall radix sweep, {} (us, * = best)", machine.name),
+        format!(
+            "Extension: alltoall radix sweep, {} (us, * = best)",
+            machine.name
+        ),
         &header_refs,
     );
     let mut best = vec![(SimTime(f64::INFINITY), 0usize); sizes.len()];

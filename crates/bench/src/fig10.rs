@@ -53,11 +53,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     let m = Machine::frontier(nodes, 1);
     let p = m.ranks();
     let sizes: Vec<usize> = (3..=20).step_by(2).map(|e| 1usize << e).collect();
-    let knomial_ks: Vec<usize> = [2usize, 32, 128, 1024].into_iter().filter(|&k| k <= p).collect();
+    let knomial_ks: Vec<usize> = [2usize, 32, 128, 1024]
+        .into_iter()
+        .filter(|&k| k <= p)
+        .collect();
     let recmult_ks = [2usize, 4, 8];
     vec![
         lines_panel(
-            &format!("Fig 10(a)  k-nomial MPI_Reduce latency (us), {nodes} nodes x 1 PPN, Frontier"),
+            &format!(
+                "Fig 10(a)  k-nomial MPI_Reduce latency (us), {nodes} nodes x 1 PPN, Frontier"
+            ),
             &m,
             CollectiveOp::Reduce,
             |k| Algorithm::KnomialTree { k },
@@ -72,7 +77,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             CollectiveOp::Allgather,
             |k| Algorithm::RecursiveMultiplying { k },
             &recmult_ks,
-            &sizes.iter().copied().filter(|&n| n <= 128 * 1024).collect::<Vec<_>>(),
+            &sizes
+                .iter()
+                .copied()
+                .filter(|&n| n <= 128 * 1024)
+                .collect::<Vec<_>>(),
         ),
         lines_panel(
             &format!(

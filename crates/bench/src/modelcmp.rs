@@ -43,10 +43,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             "Model vs simulator: recursive-multiplying allreduce, {} (us)",
             m.name
         ),
-        &["size", "k", "model (Eq.6)", "simulated", "model-optimal?", "hw-optimal?"],
+        &[
+            "size",
+            "k",
+            "model (Eq.6)",
+            "simulated",
+            "model-optimal?",
+            "hw-optimal?",
+        ],
     );
-    let model_best =
-        exacoll_models::optimal_k(16, |k| recursive::allreduce(&net, 8, p, k));
+    let model_best = exacoll_models::optimal_k(16, |k| recursive::allreduce(&net, 8, p, k));
     for &k in &[2usize, 4, 8, 16] {
         let model = recursive::allreduce(&net, 8, p, k) / 1e3;
         let sim = latency(
@@ -69,7 +75,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut kr = Table::new(
         "Model: k-ring round structure (Eq. 11-14)",
-        &["p", "k", "intra rounds", "inter rounds", "inter-group data vs ring"],
+        &[
+            "p",
+            "k",
+            "intra rounds",
+            "inter rounds",
+            "inter-group data vs ring",
+        ],
     );
     for (pp, k) in [(1024usize, 8usize), (1024, 16), (512, 4)] {
         kr.row(vec![
@@ -79,8 +91,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             kring::inter_rounds(pp, k).to_string(),
             format!(
                 "{:.3}",
-                kring::inter_group_data(1 << 20, pp, k)
-                    / kring::ring_inter_group_data(1 << 20, pp)
+                kring::inter_group_data(1 << 20, pp, k) / kring::ring_inter_group_data(1 << 20, pp)
             ),
         ]);
     }

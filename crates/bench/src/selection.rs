@@ -55,10 +55,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Persist the config the way MPICH users would consume it.
     if std::fs::create_dir_all("results").is_ok() {
-        let _ = std::fs::write(
-            format!("results/selection_{}.json", m.name),
-            cfg.to_json(),
-        );
+        let _ = std::fs::write(format!("results/selection_{}.json", m.name), cfg.to_json());
     }
     vec![rules, gains]
 }

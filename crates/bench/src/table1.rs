@@ -24,7 +24,11 @@ pub fn run(_quick: bool) -> Vec<Table> {
             })
             .collect();
         total += ops.len();
-        t.row(vec![base.to_string(), general.to_string(), names.join(", ")]);
+        t.row(vec![
+            base.to_string(),
+            general.to_string(),
+            names.join(", "),
+        ]);
     }
     t.row(vec![
         String::new(),

@@ -76,11 +76,25 @@ pub fn run(quick: bool) -> Vec<Table> {
             "Variance study (SVI-H): 30% jitter + 2% hotspot spikes, {trials} trials, {}",
             m.name
         ),
-        &["collective", "size", "clean winner", "stays optimal", "avg regret"],
+        &[
+            "collective",
+            "size",
+            "clean winner",
+            "stays optimal",
+            "avg regret",
+        ],
     );
     let knomial = |k: usize| Algorithm::KnomialTree { k };
     let recmult = |k: usize| Algorithm::RecursiveMultiplying { k };
-    variance_rows(&m, CollectiveOp::Reduce, knomial, &[2, 4, 8, 16, 32], 8, trials, &mut t);
+    variance_rows(
+        &m,
+        CollectiveOp::Reduce,
+        knomial,
+        &[2, 4, 8, 16, 32],
+        8,
+        trials,
+        &mut t,
+    );
     variance_rows(
         &m,
         CollectiveOp::Reduce,
@@ -90,7 +104,15 @@ pub fn run(quick: bool) -> Vec<Table> {
         trials,
         &mut t,
     );
-    variance_rows(&m, CollectiveOp::Allreduce, recmult, &[2, 4, 8, 16], 8, trials, &mut t);
+    variance_rows(
+        &m,
+        CollectiveOp::Allreduce,
+        recmult,
+        &[2, 4, 8, 16],
+        8,
+        trials,
+        &mut t,
+    );
     variance_rows(
         &m,
         CollectiveOp::Allreduce,

@@ -82,9 +82,7 @@ impl Args {
             None => Ok(exacoll_osu::osu_sizes()),
             Some(list) => list
                 .split(',')
-                .map(|s| {
-                    parse_size(s.trim()).ok_or_else(|| format!("bad size `{s}` in --sizes"))
-                })
+                .map(|s| parse_size(s.trim()).ok_or_else(|| format!("bad size `{s}` in --sizes")))
                 .collect(),
         }
     }
@@ -218,7 +216,10 @@ mod tests {
             parse_alg("knomial:8").unwrap(),
             Algorithm::KnomialTree { k: 8 }
         );
-        assert_eq!(parse_alg("binomial").unwrap(), Algorithm::KnomialTree { k: 2 });
+        assert_eq!(
+            parse_alg("binomial").unwrap(),
+            Algorithm::KnomialTree { k: 2 }
+        );
         assert_eq!(parse_alg("kring:4").unwrap(), Algorithm::KRing { k: 4 });
         assert_eq!(
             parse_alg("hier:8:4").unwrap(),

@@ -12,6 +12,7 @@ pub const USAGE: &str = "usage:
   exacoll radix    --machine <name> --nodes N [--ppn P] --op <coll> --size BYTES [--max-k K]
   exacoll time     --machine <name> --nodes N [--ppn P] --op <coll> --alg <alg[:k]> --size BYTES
   exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
+  exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N]
   exacoll machines
   exacoll table1
 
@@ -28,6 +29,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "radix" => radix(&args),
         "time" => time(&args),
         "autotune" => run_autotune(&args),
+        "chaos" => chaos(&args),
         "machines" => machines(),
         "table1" => {
             table1();
@@ -71,8 +73,7 @@ fn sweep(args: &Args) -> Result<(), String> {
 fn radix(args: &Args) -> Result<(), String> {
     let m = args.machine()?;
     let op = args.op()?;
-    let n = crate::args::parse_size(args.req("size")?)
-        .ok_or_else(|| "bad --size".to_string())?;
+    let n = crate::args::parse_size(args.req("size")?).ok_or_else(|| "bad --size".to_string())?;
     let max_k = args.opt_usize("max-k", 16)?;
     let mut t = Table::new(
         format!("{op} radix sweep at {} on {}", fmt_size(n), m.name),
@@ -91,8 +92,7 @@ fn time(args: &Args) -> Result<(), String> {
     let m = args.machine()?;
     let op = args.op()?;
     let alg = parse_alg(args.req("alg")?)?;
-    let n = crate::args::parse_size(args.req("size")?)
-        .ok_or_else(|| "bad --size".to_string())?;
+    let n = crate::args::parse_size(args.req("size")?).ok_or_else(|| "bad --size".to_string())?;
     alg.supports(op, m.ranks())?;
     let out = measure(&m, op, alg, n, 0).map_err(|e| e.to_string())?;
     println!("machine:   {}", m.name);
@@ -135,11 +135,41 @@ fn run_autotune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the fault-injection campaign on the threaded runtime and print the
+/// survival table.
+fn chaos(args: &Args) -> Result<(), String> {
+    let p = args.opt_usize("ranks", 8)?;
+    let max_k = args.opt_usize("max-k", 3)?;
+    let seed = args.opt_usize("seed", 42)? as u64;
+    let bytes = args.opt_usize("bytes", 64)?;
+    if p == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    eprintln!(
+        "chaos campaign: p={p}, max-k={max_k}, seed={seed}, {bytes} B payloads \
+         (each case is deadline-bounded; drop cases wait out their timeout)"
+    );
+    let results = exacoll_chaos::campaign(p, max_k, seed, bytes);
+    print!("{}", exacoll_chaos::survival_table(&results));
+    let failed = results.iter().filter(|r| !r.survived).count();
+    if failed > 0 {
+        return Err(format!("{failed} chaos cases failed"));
+    }
+    Ok(())
+}
+
 /// List the machine presets.
 fn machines() -> Result<(), String> {
     let mut t = Table::new(
         "simulated machine presets",
-        &["name", "ports/node", "inter alpha", "inter GB/s", "intra alpha", "topology"],
+        &[
+            "name",
+            "ports/node",
+            "inter alpha",
+            "inter GB/s",
+            "intra alpha",
+            "topology",
+        ],
     );
     for m in [
         exacoll_sim::Machine::frontier(128, 8),

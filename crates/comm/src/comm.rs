@@ -87,3 +87,29 @@ pub trait Comm {
             .expect("recv request yields a payload"))
     }
 }
+
+/// Forwarding impl so wrappers (e.g. fault injection) can borrow an endpoint
+/// instead of owning it.
+impl<C: Comm> Comm for &mut C {
+    fn rank(&self) -> Rank {
+        (**self).rank()
+    }
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn isend(&mut self, to: Rank, tag: Tag, data: Vec<u8>) -> CommResult<Req> {
+        (**self).isend(to, tag, data)
+    }
+    fn irecv(&mut self, from: Rank, tag: Tag, bytes: usize) -> CommResult<Req> {
+        (**self).irecv(from, tag, bytes)
+    }
+    fn wait(&mut self, req: Req) -> CommResult<Option<Vec<u8>>> {
+        (**self).wait(req)
+    }
+    fn waitall(&mut self, reqs: Vec<Req>) -> CommResult<Vec<Option<Vec<u8>>>> {
+        (**self).waitall(reqs)
+    }
+    fn compute(&mut self, bytes: usize) {
+        (**self).compute(bytes)
+    }
+}

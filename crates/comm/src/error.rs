@@ -59,6 +59,32 @@ pub enum CommError {
         /// Element datatype.
         dtype: DType,
     },
+    /// A blocking receive exceeded the runtime's deadline. Carries a
+    /// snapshot of the pending operation so a hang diagnoses itself.
+    Timeout {
+        /// The rank whose receive timed out.
+        rank: Rank,
+        /// Source rank of the pending receive.
+        from: Rank,
+        /// Tag of the pending receive.
+        tag: Tag,
+        /// Bytes the receive was posted for.
+        bytes: usize,
+    },
+    /// The collective was cooperatively aborted (a fault-injection kill or
+    /// an explicit [`crate::AbortHandle::abort`]).
+    Aborted {
+        /// The rank that triggered the abort.
+        origin: Rank,
+    },
+    /// A rank's closure panicked; the run harness converts the panic into
+    /// this error so sibling failures can still be reported.
+    RankPanicked {
+        /// The rank that panicked.
+        rank: Rank,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -88,6 +114,21 @@ impl fmt::Display for CommError {
                 f,
                 "buffer of {len} B is not a whole number of {dtype} elements"
             ),
+            CommError::Timeout {
+                rank,
+                from,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "timeout on rank {rank}: recv from {from} tag {tag} ({bytes} B) never matched"
+            ),
+            CommError::Aborted { origin } => {
+                write!(f, "aborted: rank {origin} signalled abort")
+            }
+            CommError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
         }
     }
 }
@@ -116,5 +157,40 @@ mod tests {
             dtype: DType::F64,
         };
         assert!(e.to_string().contains("bxor"));
+    }
+
+    #[test]
+    fn timeout_names_the_pending_op() {
+        let e = CommError::Timeout {
+            rank: 3,
+            from: 1,
+            tag: 42,
+            bytes: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains("timeout"));
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("from 1"));
+        assert!(s.contains("tag 42"));
+        assert!(s.contains("4096 B"));
+    }
+
+    #[test]
+    fn aborted_names_the_origin() {
+        let e = CommError::Aborted { origin: 5 };
+        let s = e.to_string();
+        assert!(s.contains("aborted"));
+        assert!(s.contains("rank 5"));
+    }
+
+    #[test]
+    fn rank_panicked_carries_the_message() {
+        let e = CommError::RankPanicked {
+            rank: 2,
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2 panicked"));
+        assert!(s.contains("index out of bounds"));
     }
 }

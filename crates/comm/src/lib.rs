@@ -27,6 +27,7 @@
 pub mod buffer;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod reduce_ops;
 pub mod thread_rt;
 pub mod trace;
@@ -35,7 +36,11 @@ pub mod types;
 pub use buffer::TypedBuf;
 pub use comm::{Comm, Req};
 pub use error::{CommError, CommResult};
+pub use fault::{FaultComm, FaultEvent, FaultPlan, KillSpec};
 pub use reduce_ops::reduce_into;
-pub use thread_rt::{run_ranks, ThreadComm, ThreadWorld};
+pub use thread_rt::{
+    run_ranks, try_run_ranks, try_run_ranks_with, AbortHandle, ThreadComm, ThreadWorld,
+    WorldOptions,
+};
 pub use trace::{record_traces, RankTrace, TraceComm, TraceOp};
 pub use types::{DType, Rank, ReduceOp, Tag};

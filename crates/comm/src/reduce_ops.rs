@@ -18,8 +18,20 @@ macro_rules! reduce_typed {
             let r: $ty = match $op {
                 ReduceOp::Sum => $wrap_sum(x, y),
                 ReduceOp::Prod => $wrap_prod(x, y),
-                ReduceOp::Max => if y > x { y } else { x },
-                ReduceOp::Min => if y < x { y } else { x },
+                ReduceOp::Max => {
+                    if y > x {
+                        y
+                    } else {
+                        x
+                    }
+                }
+                ReduceOp::Min => {
+                    if y < x {
+                        y
+                    } else {
+                        x
+                    }
+                }
                 _ => unreachable!("bitwise handled separately"),
             };
             a.copy_from_slice(&r.$to());
@@ -225,7 +237,7 @@ mod tests {
     fn reduce_all_matches_sequential() {
         let bufs: Vec<Vec<u8>> = (0..5).map(|r| i32s(&[r, r * 2, 100 - r])).collect();
         let out = reduce_all(DType::I32, ReduceOp::Sum, &bufs).unwrap();
-        assert_eq!(out, i32s(&[0 + 1 + 2 + 3 + 4, 0 + 2 + 4 + 6 + 8, 500 - 10]));
+        assert_eq!(out, i32s(&[1 + 2 + 3 + 4, 2 + 4 + 6 + 8, 500 - 10]));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Threaded real-data runtime: every rank is an OS thread, messages are real
-//! byte buffers over crossbeam channels.
+//! byte buffers over std mpsc channels.
 //!
 //! This backend exists to *prove* the collective algorithms correct: the test
 //! suite runs every algorithm here with randomized inputs and compares the
@@ -11,14 +11,84 @@
 //! * an unexpected-message queue for messages that arrive before their
 //!   receive is posted,
 //! * truncation errors when a message is larger than the posted receive.
+//!
+//! ## Hang-free guarantee
+//!
+//! No blocking operation parks forever. Three mechanisms cooperate:
+//!
+//! 1. **Departure poison**: dropping a [`ThreadComm`] endpoint (normal exit,
+//!    error return, or panic) broadcasts a `Gone` envelope to every peer, so
+//!    a receive from a departed rank fails with [`CommError::PeerGone`]
+//!    instead of waiting on a channel that can never produce a message.
+//! 2. **Deadline**: every blocking receive is bounded by a configurable
+//!    deadline ([`WorldOptions::deadline`]); exceeding it yields
+//!    [`CommError::Timeout`] carrying a snapshot of the pending operation.
+//! 3. **Cooperative abort**: an [`AbortHandle`] (shared by all endpoints of
+//!    a world) lets any rank — or fault-injection code — raise a world-wide
+//!    abort flag. Every operation checks the flag and fails promptly with
+//!    [`CommError::Aborted`] naming the origin rank.
 
 use crate::comm::{Comm, Req};
 use crate::error::{CommError, CommResult};
 use crate::types::{Rank, Tag};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// An in-flight message: (source, tag, payload).
-type Envelope = (Rank, Tag, Vec<u8>);
+/// An in-flight envelope: a payload or a departure notice.
+enum Envelope {
+    /// A message: (source, tag, payload).
+    Msg(Rank, Tag, Vec<u8>),
+    /// `from`'s endpoint was dropped; no further messages will arrive.
+    Gone(Rank),
+}
+
+/// How long a blocked receive waits between abort-flag checks.
+const POLL_QUANTUM: Duration = Duration::from_millis(1);
+
+/// World-wide state shared by all endpoints of one communicator.
+struct Shared {
+    /// `usize::MAX` = not aborted, otherwise the origin rank. The first
+    /// abort wins attribution.
+    abort_origin: AtomicUsize,
+}
+
+impl Shared {
+    fn aborted(&self) -> Option<Rank> {
+        match self.abort_origin.load(Ordering::Acquire) {
+            usize::MAX => None,
+            origin => Some(origin),
+        }
+    }
+}
+
+/// A clonable handle that can abort every rank of a world. Used by
+/// fault-injection kills and available to tests via
+/// [`ThreadComm::abort_handle`].
+#[derive(Clone)]
+pub struct AbortHandle {
+    shared: Arc<Shared>,
+}
+
+impl AbortHandle {
+    /// Raise the world-wide abort flag, attributing it to `origin`.
+    /// Idempotent; the first origin wins.
+    pub fn abort(&self, origin: Rank) {
+        let _ = self.shared.abort_origin.compare_exchange(
+            usize::MAX,
+            origin,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The origin rank if the world has been aborted.
+    pub fn aborted(&self) -> Option<Rank> {
+        self.shared.aborted()
+    }
+}
 
 /// State of a posted request.
 enum ReqState {
@@ -30,20 +100,47 @@ enum ReqState {
     Consumed,
 }
 
+/// Construction options for a threaded world.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldOptions {
+    /// Upper bound on how long any single blocking receive may wait before
+    /// failing with [`CommError::Timeout`].
+    pub deadline: Duration,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        // Generous enough that only genuine hangs hit it, even for large
+        // debug-mode collectives under CI contention.
+        WorldOptions {
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
 /// Factory for the per-rank [`ThreadComm`] endpoints of a communicator.
 pub struct ThreadWorld;
 
 impl ThreadWorld {
-    /// Create the `p` endpoints of a size-`p` communicator.
+    /// Create the `p` endpoints of a size-`p` communicator with default
+    /// options.
     ///
     /// Endpoints are meant to be moved into threads; see [`run_ranks`] for
     /// the common harness.
     pub fn create(p: usize) -> Vec<ThreadComm> {
+        ThreadWorld::create_with(p, WorldOptions::default())
+    }
+
+    /// Create the `p` endpoints of a size-`p` communicator.
+    pub fn create_with(p: usize, opts: WorldOptions) -> Vec<ThreadComm> {
         assert!(p > 0, "communicator must have at least one rank");
+        let shared = Arc::new(Shared {
+            abort_origin: AtomicUsize::new(usize::MAX),
+        });
         let mut txs = Vec::with_capacity(p);
         let mut rxs = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -55,7 +152,10 @@ impl ThreadWorld {
                 txs: txs.clone(),
                 rx,
                 unexpected: Vec::new(),
+                gone: vec![false; p],
                 reqs: Vec::new(),
+                shared: Arc::clone(&shared),
+                deadline: opts.deadline,
             })
             .collect()
     }
@@ -68,11 +168,39 @@ pub struct ThreadComm {
     txs: Vec<Sender<Envelope>>,
     rx: Receiver<Envelope>,
     /// MPI-style unexpected message queue, in arrival order.
-    unexpected: Vec<Envelope>,
+    unexpected: Vec<(Rank, Tag, Vec<u8>)>,
+    /// Peers whose `Gone` notice has been observed.
+    gone: Vec<bool>,
     reqs: Vec<ReqState>,
+    shared: Arc<Shared>,
+    deadline: Duration,
+}
+
+impl Drop for ThreadComm {
+    fn drop(&mut self) {
+        // Departure poison: tell every peer no further messages will come
+        // from this rank. Channels whose receiver is already gone are fine.
+        for (peer, tx) in self.txs.iter().enumerate() {
+            if peer != self.rank {
+                let _ = tx.send(Envelope::Gone(self.rank));
+            }
+        }
+    }
 }
 
 impl ThreadComm {
+    /// A handle that can abort every rank of this world.
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Override the blocking-receive deadline for this endpoint.
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
+    }
+
     fn check_rank(&self, r: Rank) -> CommResult<()> {
         if r >= self.size {
             return Err(CommError::InvalidRank {
@@ -81,6 +209,13 @@ impl ThreadComm {
             });
         }
         Ok(())
+    }
+
+    fn check_abort(&self) -> CommResult<()> {
+        match self.shared.aborted() {
+            Some(origin) => Err(CommError::Aborted { origin }),
+            None => Ok(()),
+        }
     }
 
     /// Try to match a posted receive against the unexpected queue.
@@ -93,30 +228,50 @@ impl ThreadComm {
     }
 
     /// Block until a message matching (from, tag) arrives, parking
-    /// non-matching arrivals on the unexpected queue.
-    fn pull_match(&mut self, from: Rank, tag: Tag) -> CommResult<Vec<u8>> {
-        if let Some(data) = self.match_unexpected(from, tag) {
-            return Ok(data);
-        }
+    /// non-matching arrivals on the unexpected queue. Never parks forever:
+    /// bails on abort, peer departure, or deadline expiry.
+    fn pull_match(&mut self, from: Rank, tag: Tag, bytes: usize) -> CommResult<Vec<u8>> {
+        let start = Instant::now();
         loop {
-            let env = self
-                .rx
-                .recv()
-                .map_err(|_| CommError::PeerGone { peer: from })?;
-            if env.0 == from && env.1 == tag {
-                return Ok(env.2);
+            self.check_abort()?;
+            if let Some(data) = self.match_unexpected(from, tag) {
+                return Ok(data);
             }
-            self.unexpected.push(env);
+            if self.gone[from] {
+                // Per-sender FIFO: once Gone is observed, every message the
+                // peer ever sent has already been drained into `unexpected`.
+                return Err(CommError::PeerGone { peer: from });
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.deadline {
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    from,
+                    tag,
+                    bytes,
+                });
+            }
+            let wait = (self.deadline - elapsed).min(POLL_QUANTUM);
+            match self.rx.recv_timeout(wait) {
+                Ok(Envelope::Msg(s, t, data)) => {
+                    if s == from && t == tag {
+                        return Ok(data);
+                    }
+                    self.unexpected.push((s, t, data));
+                }
+                Ok(Envelope::Gone(g)) => self.gone[g] = true,
+                Err(RecvTimeoutError::Timeout) => {}
+                // Unreachable in practice (each endpoint holds a clone of
+                // its own sender), but treat it as the peer vanishing.
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { peer: from });
+                }
+            }
         }
     }
 
-    fn complete_recv(
-        &mut self,
-        from: Rank,
-        tag: Tag,
-        posted: usize,
-    ) -> CommResult<Vec<u8>> {
-        let data = self.pull_match(from, tag)?;
+    fn complete_recv(&mut self, from: Rank, tag: Tag, posted: usize) -> CommResult<Vec<u8>> {
+        let data = self.pull_match(from, tag, posted)?;
         if data.len() > posted {
             return Err(CommError::Truncation {
                 rank: self.rank,
@@ -140,15 +295,20 @@ impl Comm for ThreadComm {
     }
 
     fn isend(&mut self, to: Rank, tag: Tag, data: Vec<u8>) -> CommResult<Req> {
+        self.check_abort()?;
         self.check_rank(to)?;
+        if self.gone[to] {
+            return Err(CommError::PeerGone { peer: to });
+        }
         self.txs[to]
-            .send((self.rank, tag, data))
+            .send(Envelope::Msg(self.rank, tag, data))
             .map_err(|_| CommError::PeerGone { peer: to })?;
         self.reqs.push(ReqState::SendDone);
         Ok(Req(self.reqs.len() - 1))
     }
 
     fn irecv(&mut self, from: Rank, tag: Tag, bytes: usize) -> CommResult<Req> {
+        self.check_abort()?;
         self.check_rank(from)?;
         self.reqs.push(ReqState::RecvPosted { from, tag, bytes });
         Ok(Req(self.reqs.len() - 1))
@@ -176,48 +336,67 @@ impl Comm for ThreadComm {
     }
 }
 
+/// Render a panic payload as a string for [`CommError::RankPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run closure `f` on every rank of a fresh size-`p` communicator, one OS
 /// thread per rank, and return the per-rank results in rank order.
 ///
-/// Panics (propagating the message) if any rank returns an error or panics,
-/// which turns collective bugs into immediate test failures.
+/// Panics if any rank returns an error or panics, reporting **every**
+/// failing rank (not just the first) so a collective bug that takes down
+/// several ranks diagnoses itself in one run.
 pub fn run_ranks<T, F>(p: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut ThreadComm) -> CommResult<T> + Send + Sync,
 {
-    let comms = ThreadWorld::create(p);
-    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut c| {
-                let f = &f;
-                scope.spawn(move || {
-                    let rank = c.rank();
-                    (rank, f(&mut c))
-                })
-            })
-            .collect();
-        for h in handles {
-            let (rank, res) = h.join().expect("rank thread panicked");
-            match res {
-                Ok(v) => out[rank] = Some(v),
-                Err(e) => panic!("rank {rank} failed: {e}"),
-            }
+    let results = try_run_ranks(p, f);
+    let mut out = Vec::with_capacity(p);
+    let mut failures = Vec::new();
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(v) => out.push(v),
+            Err(e) => failures.push(format!("rank {rank}: {e}")),
         }
-    });
-    out.into_iter().map(|o| o.expect("rank produced result")).collect()
+    }
+    if !failures.is_empty() {
+        panic!(
+            "{}/{} ranks failed:\n  {}",
+            failures.len(),
+            p,
+            failures.join("\n  ")
+        );
+    }
+    out
 }
 
 /// Like [`run_ranks`] but collects per-rank `Result`s instead of panicking,
-/// for failure-injection tests.
+/// for failure-injection tests. A panicking rank yields
+/// [`CommError::RankPanicked`] (and its dropped endpoint unblocks any peer
+/// waiting on it).
 pub fn try_run_ranks<T, F>(p: usize, f: F) -> Vec<CommResult<T>>
 where
     T: Send,
     F: Fn(&mut ThreadComm) -> CommResult<T> + Send + Sync,
 {
-    let comms = ThreadWorld::create(p);
+    try_run_ranks_with(p, WorldOptions::default(), f)
+}
+
+/// [`try_run_ranks`] with explicit [`WorldOptions`] (deadline control).
+pub fn try_run_ranks_with<T, F>(p: usize, opts: WorldOptions, f: F) -> Vec<CommResult<T>>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> CommResult<T> + Send + Sync,
+{
+    let comms = ThreadWorld::create_with(p, opts);
     let mut out: Vec<Option<CommResult<T>>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -226,16 +405,27 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let rank = c.rank();
-                    (rank, f(&mut c))
+                    let res = match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut c))) {
+                        Ok(r) => r,
+                        Err(payload) => Err(CommError::RankPanicked {
+                            rank,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    };
+                    // `c` drops here, poisoning peers so nobody waits on a
+                    // departed rank.
+                    (rank, res)
                 })
             })
             .collect();
         for h in handles {
-            let (rank, res) = h.join().expect("rank thread panicked");
+            let (rank, res) = h.join().expect("rank thread infrastructure panicked");
             out[rank] = Some(res);
         }
     });
-    out.into_iter().map(|o| o.expect("rank produced result")).collect()
+    out.into_iter()
+        .map(|o| o.expect("rank produced result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -341,7 +531,10 @@ mod tests {
     #[test]
     fn invalid_rank_rejected() {
         let results = try_run_ranks(1, |c| c.send(5, 0, vec![]));
-        assert!(matches!(results[0], Err(CommError::InvalidRank { rank: 5, size: 1 })));
+        assert!(matches!(
+            results[0],
+            Err(CommError::InvalidRank { rank: 5, size: 1 })
+        ));
     }
 
     #[test]
@@ -395,5 +588,132 @@ mod tests {
             }
         });
         assert_eq!(out[0], 31 * 4);
+    }
+
+    // ---- hang-free runtime ----
+
+    #[test]
+    fn departed_peer_unblocks_receiver() {
+        // Rank 0 exits without sending; rank 1 must get PeerGone promptly
+        // rather than waiting out the (long) deadline.
+        let start = Instant::now();
+        let results = try_run_ranks(2, |c| {
+            if c.rank() == 0 {
+                Ok(vec![])
+            } else {
+                c.recv(0, 0, 8)
+            }
+        });
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CommError::PeerGone { peer: 0 })));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "PeerGone should be near-immediate, not deadline-bound"
+        );
+    }
+
+    #[test]
+    fn messages_before_departure_still_delivered() {
+        // Gone must not outrun the peer's earlier messages (per-sender FIFO).
+        let out = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![42])?;
+                Ok(vec![])
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                c.recv(0, 0, 1)
+            }
+        });
+        assert_eq!(out[1], vec![42]);
+    }
+
+    #[test]
+    fn deadline_timeout_reports_pending_op() {
+        let opts = WorldOptions {
+            deadline: Duration::from_millis(100),
+        };
+        let results = try_run_ranks_with(2, opts, |c| {
+            if c.rank() == 0 {
+                // Outlive rank 1's deadline so it times out rather than
+                // seeing our departure poison.
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(vec![])
+            } else {
+                c.recv(0, 9, 256)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Err(CommError::Timeout {
+                rank: 1,
+                from: 0,
+                tag: 9,
+                bytes: 256,
+            })
+        );
+    }
+
+    #[test]
+    fn abort_unblocks_all_ranks() {
+        let start = Instant::now();
+        let results = try_run_ranks(4, |c| {
+            if c.rank() == 2 {
+                c.abort_handle().abort(2);
+                Err(CommError::Aborted { origin: 2 })
+            } else {
+                // Would otherwise block the full 60 s default deadline.
+                c.recv((c.rank() + 1) % 4, 77, 8).map(|_| ())
+            }
+        });
+        for r in results {
+            assert!(matches!(r, Err(CommError::Aborted { origin: 2 })));
+        }
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn abort_fails_sends_too() {
+        let results = try_run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.abort_handle().abort(0);
+                Err(CommError::Aborted { origin: 0 })
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                c.send(0, 0, vec![1, 2, 3])
+            }
+        });
+        assert!(matches!(results[1], Err(CommError::Aborted { origin: 0 })));
+    }
+
+    #[test]
+    fn panicking_rank_is_captured_and_unblocks_peers() {
+        let results = try_run_ranks(2, |c| {
+            if c.rank() == 0 {
+                panic!("injected panic");
+            }
+            c.recv(0, 0, 8).map(|_| ())
+        });
+        assert!(matches!(
+            &results[0],
+            Err(CommError::RankPanicked { rank: 0, message }) if message.contains("injected panic")
+        ));
+        assert!(matches!(results[1], Err(CommError::PeerGone { peer: 0 })));
+    }
+
+    #[test]
+    fn run_ranks_reports_every_failing_rank() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_ranks(4, |c| {
+                if c.rank() % 2 == 1 {
+                    Err(CommError::InvalidRank { rank: 99, size: 4 })
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        let msg = panic_message(outcome.unwrap_err().as_ref());
+        assert!(msg.contains("2/4 ranks failed"), "got: {msg}");
+        assert!(msg.contains("rank 1"), "got: {msg}");
+        assert!(msg.contains("rank 3"), "got: {msg}");
     }
 }

@@ -194,9 +194,7 @@ impl Comm for TraceComm {
         for req in &reqs {
             let idx = req.0;
             match self.ops.get(idx) {
-                Some(TraceOp::Recv { bytes, .. }) => {
-                    results.push(Some(vec![0u8; *bytes as usize]))
-                }
+                Some(TraceOp::Recv { bytes, .. }) => results.push(Some(vec![0u8; *bytes as usize])),
                 Some(TraceOp::Send { .. }) => results.push(None),
                 _ => return Err(CommError::UnknownRequest { handle: idx }),
             }

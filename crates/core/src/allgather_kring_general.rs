@@ -51,7 +51,10 @@ pub fn allgather_kring_general<C: Comm>(
 ) -> CommResult<Vec<u8>> {
     let p = c.size();
     let me = c.rank();
-    assert!((1..=p).contains(&k), "group size {k} out of range for p={p}");
+    assert!(
+        (1..=p).contains(&k),
+        "group size {k} out of range for p={p}"
+    );
     let off = prefix_offsets(sizes);
     let mut out = vec![0u8; off[p]];
     out[off[me]..off[me] + input.len()].copy_from_slice(input);
@@ -72,12 +75,9 @@ pub fn allgather_kring_general<C: Comm>(
     // *receiving* group's size (empty when class >= the source's size).
     let class_blocks = |src: usize, class: usize, modulus: usize| -> Vec<usize> {
         let (ss, se) = span(src);
-        (ss..se)
-            .filter(|&r| (r - ss) % modulus == class)
-            .collect()
+        (ss..se).filter(|&r| (r - ss) % modulus == class).collect()
     };
-    let blocks_len =
-        |blocks: &[usize]| blocks.iter().map(|&b| sizes[b]).sum::<usize>();
+    let blocks_len = |blocks: &[usize]| blocks.iter().map(|&b| sizes[b]).sum::<usize>();
     // Gather the listed blocks' bytes from `out` into one bundle.
     let pack = |out: &Vec<u8>, blocks: &[usize]| -> Vec<u8> {
         let mut buf = Vec::with_capacity(blocks_len(blocks));
@@ -206,9 +206,9 @@ mod tests {
 
     #[test]
     fn extreme_group_sizes() {
-        check(7, 1, &vec![3; 7]); // all singleton groups = ring
-        check(7, 7, &vec![3; 7]); // one group = pure intra ring
-        check(7, 6, &vec![3; 7]); // group sizes 4 and 3
+        check(7, 1, &[3; 7]); // all singleton groups = ring
+        check(7, 7, &[3; 7]); // one group = pure intra ring
+        check(7, 6, &[3; 7]); // group sizes 4 and 3
     }
 
     #[test]

@@ -297,7 +297,13 @@ mod tests {
                 DType::I64,
                 ReduceOp::Sum,
                 move |c, x| {
-                    allreduce_rsag(c, AllgatherKernel::KRing { k }, x, DType::I64, ReduceOp::Sum)
+                    allreduce_rsag(
+                        c,
+                        AllgatherKernel::KRing { k },
+                        x,
+                        DType::I64,
+                        ReduceOp::Sum,
+                    )
                 },
                 "kring",
             );
@@ -373,7 +379,7 @@ mod tests {
             (12, 4, 3),
             (16, 4, 4),
             (24, 8, 4),
-            (6, 1, 3), // degenerate: every rank its own leader
+            (6, 1, 3),  // degenerate: every rank its own leader
             (20, 4, 4), // 5 leaders: non-smooth leader count, fold path
         ] {
             check(

@@ -181,7 +181,12 @@ mod tests {
             .collect()
     }
 
-    fn check(p: usize, n: usize, f: impl Fn(&mut exacoll_comm::ThreadComm, &[u8]) -> CommResult<Vec<u8>> + Send + Sync, label: &str) {
+    fn check(
+        p: usize,
+        n: usize,
+        f: impl Fn(&mut exacoll_comm::ThreadComm, &[u8]) -> CommResult<Vec<u8>> + Send + Sync,
+        label: &str,
+    ) {
         let out = run_ranks(p, |c| {
             let input = rank_input(c.rank(), p, n);
             f(c, &input)
@@ -194,14 +199,14 @@ mod tests {
     #[test]
     fn pairwise_counts() {
         for p in [1usize, 2, 3, 5, 8, 12] {
-            check(p, 4, |c, x| alltoall_pairwise(c, x), "pairwise");
+            check(p, 4, alltoall_pairwise, "pairwise");
         }
     }
 
     #[test]
     fn spread_counts() {
         for p in [1usize, 2, 4, 7, 9] {
-            check(p, 5, |c, x| alltoall_spread(c, x), "spread");
+            check(p, 5, alltoall_spread, "spread");
         }
     }
 
@@ -234,14 +239,12 @@ mod tests {
     #[test]
     fn zero_byte_blocks() {
         check(6, 0, |c, x| alltoall_bruck(c, 3, x), "bruck-empty");
-        check(6, 0, |c, x| alltoall_pairwise(c, x), "pairwise-empty");
+        check(6, 0, alltoall_pairwise, "pairwise-empty");
     }
 
     #[test]
     #[should_panic(expected = "equal size")]
     fn ragged_input_rejected() {
-        exacoll_comm::record_traces(4, |c| {
-            alltoall_pairwise(c, &[0u8; 7]).map(|_| ())
-        });
+        exacoll_comm::record_traces(4, |c| alltoall_pairwise(c, &[0u8; 7]).map(|_| ()));
     }
 }

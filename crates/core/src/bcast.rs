@@ -172,13 +172,7 @@ mod tests {
             let data = payload(n);
             let out = run_ranks(p, |c| {
                 let input = (c.rank() == 0).then_some(&data[..]);
-                bcast_scatter_allgather(
-                    c,
-                    AllgatherKernel::RecursiveMultiplying { k },
-                    0,
-                    input,
-                    n,
-                )
+                bcast_scatter_allgather(c, AllgatherKernel::RecursiveMultiplying { k }, 0, input, n)
             });
             for o in &out {
                 assert_eq!(o, &data, "p={p} k={k}");

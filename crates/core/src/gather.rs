@@ -32,7 +32,13 @@ pub fn gather_knomial<C: Comm>(
     let children = t.children(v);
     let reqs: Vec<Req> = children
         .iter()
-        .map(|&ch| c.irecv(t.unvrank(ch, root), tags::GATHER_TREE, t.subtree_size(ch) * n))
+        .map(|&ch| {
+            c.irecv(
+                t.unvrank(ch, root),
+                tags::GATHER_TREE,
+                t.subtree_size(ch) * n,
+            )
+        })
         .collect::<CommResult<_>>()?;
     let payloads = c.waitall(reqs)?;
     for (&ch, got) in children.iter().zip(payloads) {

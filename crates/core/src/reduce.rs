@@ -91,7 +91,9 @@ mod tests {
     use exacoll_comm::{reduce_ops::reduce_all, run_ranks, TypedBuf};
 
     fn rank_input(rank: usize, count: usize, dtype: DType) -> Vec<u8> {
-        let vals: Vec<f64> = (0..count).map(|i| ((rank + 1) * (i + 2) % 17) as f64).collect();
+        let vals: Vec<f64> = (0..count)
+            .map(|i| ((rank + 1) * (i + 2) % 17) as f64)
+            .collect();
         TypedBuf::from_f64s(dtype, &vals).bytes
     }
 

@@ -95,8 +95,7 @@ pub fn reduce_scatter_recmult<C: Comm>(
     let me = c.rank();
     let n = input.len();
     let esize = dtype.size();
-    let factors =
-        factorize(p, k).unwrap_or_else(|| panic!("p = {p} is not {k}-smooth"));
+    let factors = factorize(p, k).unwrap_or_else(|| panic!("p = {p} is not {k}-smooth"));
     let byte_range = |blocks: (usize, usize)| {
         let (b0, b1) = blocks;
         let (s, _) = elem_block_range(n, esize, p, b0);
@@ -223,7 +222,9 @@ mod tests {
     fn check_recmult(p: usize, k: usize, count: usize, dtype: DType, op: ReduceOp) {
         let inputs: Vec<Vec<u8>> = (0..p).map(|r| rank_input(r, count, dtype)).collect();
         let full = reduce_all(dtype, op, &inputs).unwrap();
-        let out = run_ranks(p, |c| reduce_scatter_recmult(c, k, &inputs[c.rank()], dtype, op));
+        let out = run_ranks(p, |c| {
+            reduce_scatter_recmult(c, k, &inputs[c.rank()], dtype, op)
+        });
         for (r, o) in out.iter().enumerate() {
             let (s, e) = elem_block_range(count * dtype.size(), dtype.size(), p, r);
             assert_eq!(o, &full[s..e], "recmult p={p} k={k} rank={r} {dtype} {op}");

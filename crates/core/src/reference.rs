@@ -31,7 +31,13 @@ pub fn expected_outputs(
         CollectiveOp::Reduce => {
             let combined = reduce_all(dtype, rop, inputs)?;
             (0..p)
-                .map(|r| if r == root { combined.clone() } else { Vec::new() })
+                .map(|r| {
+                    if r == root {
+                        combined.clone()
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect()
         }
         CollectiveOp::Gather => {
@@ -54,8 +60,7 @@ pub fn expected_outputs(
             let n = inputs[0].len();
             (0..p)
                 .map(|r| {
-                    let (s, e) =
-                        crate::reduce_scatter::elem_block_range(n, dtype.size(), p, r);
+                    let (s, e) = crate::reduce_scatter::elem_block_range(n, dtype.size(), p, r);
                     combined[s..e].to_vec()
                 })
                 .collect()

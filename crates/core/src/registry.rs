@@ -6,12 +6,12 @@ use crate::allreduce::{
     allreduce_hierarchical, allreduce_recmult, allreduce_reduce_bcast, allreduce_rsag,
 };
 use crate::alltoall::{alltoall_bruck, alltoall_pairwise, alltoall_spread};
-use crate::reduce_scatter::{reduce_scatter_recmult, reduce_scatter_ring};
-use crate::topo::is_smooth;
 use crate::barrier::barrier_dissemination;
 use crate::bcast::{bcast_knomial, bcast_linear, bcast_scatter_allgather};
 use crate::gather::gather_knomial;
 use crate::reduce::{reduce_knomial, reduce_linear};
+use crate::reduce_scatter::{reduce_scatter_recmult, reduce_scatter_ring};
+use crate::topo::is_smooth;
 use exacoll_comm::{Comm, CommResult, DType, Rank, ReduceOp};
 use std::fmt;
 
@@ -210,20 +210,20 @@ impl Algorithm {
             return Err(format!("{self} does not implement {op}"));
         }
         match self {
-            KnomialTree { k } | RecursiveMultiplying { k } | ReduceBcast { k }
+            KnomialTree { k }
+            | RecursiveMultiplying { k }
+            | ReduceBcast { k }
             | Dissemination { k }
                 if *k < 2 =>
             {
                 Err(format!("radix {k} < 2"))
             }
             GeneralizedBruck { r } if *r < 2 => Err(format!("radix {r} < 2")),
-            RecursiveMultiplying { k } if op == ReduceScatter && !is_smooth(p, *k) => Err(
-                format!("recursive-splitting reduce-scatter needs a {k}-smooth p, got {p}"),
-            ),
+            RecursiveMultiplying { k } if op == ReduceScatter && !is_smooth(p, *k) => Err(format!(
+                "recursive-splitting reduce-scatter needs a {k}-smooth p, got {p}"
+            )),
             KRing { k } if *k < 1 => Err("k-ring group size must be >= 1".into()),
-            KRing { k } if *k > p => {
-                Err(format!("k-ring group size {k} exceeds p = {p}"))
-            }
+            KRing { k } if *k > p => Err(format!("k-ring group size {k} exceeds p = {p}")),
             _ => Ok(()),
         }
     }
@@ -315,9 +315,7 @@ pub fn execute<C: Comm>(c: &mut C, args: &CollArgs, input: &[u8]) -> CommResult<
                     data,
                     n,
                 ),
-                Algorithm::Ring => {
-                    bcast_scatter_allgather(c, AllgatherKernel::Ring, root, data, n)
-                }
+                Algorithm::Ring => bcast_scatter_allgather(c, AllgatherKernel::Ring, root, data, n),
                 Algorithm::KRing { k } => {
                     bcast_scatter_allgather(c, AllgatherKernel::KRing { k }, root, data, n)
                 }
@@ -401,7 +399,11 @@ pub fn execute<C: Comm>(c: &mut C, args: &CollArgs, input: &[u8]) -> CommResult<
 pub fn table_i() -> Vec<(&'static str, &'static str, Vec<CollectiveOp>)> {
     use CollectiveOp::*;
     vec![
-        ("binomial", "k-nomial", vec![Reduce, Bcast, Gather, Allgather]),
+        (
+            "binomial",
+            "k-nomial",
+            vec![Reduce, Bcast, Gather, Allgather],
+        ),
         (
             "recursive doubling",
             "recursive multiplying",
@@ -447,7 +449,9 @@ mod tests {
         assert!(KnomialTree { k: 2 }.supports(Reduce, 8).is_ok());
         assert!(KnomialTree { k: 2 }.supports(Allreduce, 8).is_err());
         assert!(RecursiveMultiplying { k: 4 }.supports(Allreduce, 7).is_ok());
-        assert!(RecursiveMultiplying { k: 1 }.supports(Allreduce, 7).is_err());
+        assert!(RecursiveMultiplying { k: 1 }
+            .supports(Allreduce, 7)
+            .is_err());
         assert!(Ring.supports(Bcast, 5).is_ok());
         assert!(Ring.supports(Reduce, 5).is_err());
         assert!(KRing { k: 4 }.supports(Allgather, 8).is_ok());

@@ -208,6 +208,7 @@ mod tests {
             let mut reached = vec![false; p];
             reached[0] = true;
             let mut count = 1;
+            #[allow(clippy::needless_range_loop)]
             for v in 1..p {
                 let par = t.parent(v).expect("non-root has parent");
                 prop_assert!(par < v, "parent {par} must precede child {v}");

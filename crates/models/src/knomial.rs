@@ -27,8 +27,7 @@ pub fn gather(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
 /// `log_k(p)·α + (k-1)·n·(log_k(p) + (p-1)/p)·β`.
 pub fn allgather(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
     let l = logk(p, k);
-    l * net.alpha
-        + (k - 1) as f64 * n as f64 * (l + (p - 1) as f64 / p as f64) * net.beta
+    l * net.alpha + (k - 1) as f64 * n as f64 * (l + (p - 1) as f64 / p as f64) * net.beta
 }
 
 /// Eq. (3), Allreduce row (reduce + bcast composite).

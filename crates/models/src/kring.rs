@@ -75,7 +75,11 @@ mod tests {
     fn round_counts_sum_to_p_minus_1() {
         // Eq. (12): g(k-1) + (g-1) = p - 1.
         for (p, k) in [(6usize, 3usize), (8, 4), (1024, 8), (12, 1), (12, 12)] {
-            assert_eq!(intra_rounds(p, k) + inter_rounds(p, k), p - 1, "p={p} k={k}");
+            assert_eq!(
+                intra_rounds(p, k) + inter_rounds(p, k),
+                p - 1,
+                "p={p} k={k}"
+            );
         }
     }
 

@@ -60,7 +60,10 @@ mod tests {
         let p = 128;
         let k_small = optimal_k(p, |k| knomial::bcast(&net, 8, p, k));
         let k_large = optimal_k(p, |k| knomial::bcast(&net, 1 << 22, p, k));
-        assert!(k_small > k_large, "small-msg k {k_small} vs large-msg k {k_large}");
+        assert!(
+            k_small > k_large,
+            "small-msg k {k_small} vs large-msg k {k_large}"
+        );
         assert_eq!(k_large, 2);
     }
 
@@ -92,10 +95,7 @@ mod tests {
             "crossover at {cross} bytes is implausible"
         );
         // And a contender that never wins reports None.
-        assert_eq!(
-            crossover_size(1 << 20, |_| 1.0, |_| 2.0),
-            None
-        );
+        assert_eq!(crossover_size(1 << 20, |_| 1.0, |_| 2.0), None);
     }
 
     #[test]

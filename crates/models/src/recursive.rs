@@ -19,8 +19,7 @@ pub fn allreduce(net: &NetParams, n: usize, p: usize, k: usize) -> f64 {
 /// `α + β·n·(k-1)·k^(i-1)/p` for round `i` (1-based).
 pub fn allgather_round(net: &NetParams, n: usize, p: usize, k: usize, i: usize) -> f64 {
     debug_assert!(i >= 1);
-    net.alpha
-        + net.beta * n as f64 * (k - 1) as f64 * (k as f64).powi(i as i32 - 1) / p as f64
+    net.alpha + net.beta * n as f64 * (k - 1) as f64 * (k as f64).powi(i as i32 - 1) / p as f64
 }
 
 /// Eq. (7), per-round cost, Allreduce row: `α + (β+γ)·(k-1)·n`.

@@ -65,7 +65,10 @@ mod tests {
         let exact = allgather(&net, n, p);
         let asym = asymptote_allgather(&net, n);
         let ratio = exact / asym;
-        assert!((ratio - (p - 1) as f64 / p as f64).abs() < 1e-3, "ratio {ratio}");
+        assert!(
+            (ratio - (p - 1) as f64 / p as f64).abs() < 1e-3,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub fn record_collective(
     // alltoall, OSU's message size is per destination pair, so the input
     // holds p blocks of n bytes.
     let n = if n >= 8 { n - n % 8 } else { n };
-    let bytes = if op == CollectiveOp::Alltoall { n * p } else { n };
+    let bytes = if op == CollectiveOp::Alltoall {
+        n * p
+    } else {
+        n
+    };
     let input = vec![0u8; bytes];
     record_traces(p, |c| execute(c, &args, &input).map(|_| ()))
 }

@@ -42,12 +42,7 @@ pub struct Sweep {
 impl Sweep {
     /// Measure every (size, algorithm) combination. Algorithms that do not
     /// support the machine's rank count are skipped.
-    pub fn run(
-        machine: &Machine,
-        op: CollectiveOp,
-        sizes: &[usize],
-        algs: &[Algorithm],
-    ) -> Sweep {
+    pub fn run(machine: &Machine, op: CollectiveOp, sizes: &[usize], algs: &[Algorithm]) -> Sweep {
         let mut points = Vec::new();
         for &n in sizes {
             for &alg in algs {
@@ -143,9 +138,7 @@ mod tests {
         let (best, t) = sweep.best_at(8).unwrap();
         assert!(t.as_nanos() > 0.0);
         assert!(algs.contains(&best.alg));
-        assert!(sweep
-            .latency_of(1024, Algorithm::Linear)
-            .is_some());
+        assert!(sweep.latency_of(1024, Algorithm::Linear).is_some());
         assert!(sweep.latency_of(1024, Algorithm::Ring).is_none());
     }
 

@@ -1,0 +1,164 @@
+//! Simulator-side fault injection: degraded links, straggler ranks, and
+//! dead links.
+//!
+//! Unlike the threaded backend's probabilistic
+//! [`FaultComm`](exacoll_comm::FaultComm), simulator faults are *structural*:
+//! they describe a fixed impairment of the modeled machine and apply
+//! deterministically to every affected transfer. This is how the paper-style
+//! "what does a slow node do to the collective's critical path" questions are
+//! answered — replay the same trace on a healthy and an impaired machine and
+//! diff the makespans.
+//!
+//! Fault classes:
+//!
+//! * **Link degradation** — multiply α and/or β for traffic between a node
+//!   pair (a flaky cable or congested uplink).
+//! * **Stragglers** — multiply one rank's `o_send`/`o_recv` posting
+//!   overheads (an oversubscribed or thermally-throttled core).
+//! * **Dead links** — traffic between a node pair (a node and itself for a
+//!   dead intranode port) silently vanishes. Receives that depended on it
+//!   never match and the replay reports a deadlock naming each blocked
+//!   rank's pending operation.
+
+/// Multiply α/β for traffic from `src_node` to `dst_node` (directional).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    /// Source node index.
+    pub src_node: usize,
+    /// Destination node index.
+    pub dst_node: usize,
+    /// Latency multiplier (≥ 1 slows the link down).
+    pub alpha_factor: f64,
+    /// Inverse-bandwidth multiplier (≥ 1 slows the link down).
+    pub beta_factor: f64,
+}
+
+/// Inflate one rank's posting overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// The slow rank.
+    pub rank: usize,
+    /// Multiplier on `o_send`/`o_recv` (≥ 1 slows the rank down).
+    pub overhead_factor: f64,
+}
+
+/// Traffic from `src_node` to `dst_node` is lost (directional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadLink {
+    /// Source node index.
+    pub src_node: usize,
+    /// Destination node index.
+    pub dst_node: usize,
+}
+
+/// A set of structural machine impairments for [`simulate_faulty`].
+///
+/// [`simulate_faulty`]: crate::replay::simulate_faulty
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimFaults {
+    /// Degraded (slowed) node-pair links.
+    pub degraded: Vec<LinkDegradation>,
+    /// Ranks with inflated posting overheads.
+    pub stragglers: Vec<Straggler>,
+    /// Node-pair links that lose all traffic.
+    pub dead: Vec<DeadLink>,
+}
+
+impl SimFaults {
+    /// No impairments; `simulate_faulty` with this equals `simulate`.
+    pub fn none() -> SimFaults {
+        SimFaults::default()
+    }
+
+    /// Degrade the `src_node → dst_node` link by the given factors.
+    pub fn degrade_link(
+        mut self,
+        src_node: usize,
+        dst_node: usize,
+        alpha_factor: f64,
+        beta_factor: f64,
+    ) -> SimFaults {
+        self.degraded.push(LinkDegradation {
+            src_node,
+            dst_node,
+            alpha_factor,
+            beta_factor,
+        });
+        self
+    }
+
+    /// Make `rank` a straggler with the given posting-overhead multiplier.
+    pub fn straggler(mut self, rank: usize, overhead_factor: f64) -> SimFaults {
+        self.stragglers.push(Straggler {
+            rank,
+            overhead_factor,
+        });
+        self
+    }
+
+    /// Kill the `src_node → dst_node` link.
+    pub fn dead_link(mut self, src_node: usize, dst_node: usize) -> SimFaults {
+        self.dead.push(DeadLink { src_node, dst_node });
+        self
+    }
+
+    /// True when no impairment is configured.
+    pub fn is_empty(&self) -> bool {
+        self.degraded.is_empty() && self.stragglers.is_empty() && self.dead.is_empty()
+    }
+
+    /// Combined (α, β) multipliers for a node-pair transfer.
+    pub(crate) fn link_factors(&self, src_node: usize, dst_node: usize) -> (f64, f64) {
+        self.degraded
+            .iter()
+            .filter(|d| d.src_node == src_node && d.dst_node == dst_node)
+            .fold((1.0, 1.0), |(a, b), d| {
+                (a * d.alpha_factor, b * d.beta_factor)
+            })
+    }
+
+    /// Posting-overhead multiplier for `rank`.
+    pub(crate) fn overhead_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.rank == rank)
+            .fold(1.0, |acc, s| acc * s.overhead_factor)
+    }
+
+    /// Whether the `src_node → dst_node` link loses traffic.
+    pub(crate) fn is_dead(&self, src_node: usize, dst_node: usize) -> bool {
+        self.dead
+            .iter()
+            .any(|d| d.src_node == src_node && d.dst_node == dst_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_compose_multiplicatively() {
+        let f = SimFaults::none()
+            .degrade_link(0, 1, 2.0, 3.0)
+            .degrade_link(0, 1, 2.0, 1.0)
+            .straggler(4, 10.0);
+        assert_eq!(f.link_factors(0, 1), (4.0, 3.0));
+        assert_eq!(
+            f.link_factors(1, 0),
+            (1.0, 1.0),
+            "degradation is directional"
+        );
+        assert_eq!(f.overhead_factor(4), 10.0);
+        assert_eq!(f.overhead_factor(0), 1.0);
+        assert!(!f.is_empty());
+        assert!(SimFaults::none().is_empty());
+    }
+
+    #[test]
+    fn dead_links_are_directional() {
+        let f = SimFaults::none().dead_link(2, 3);
+        assert!(f.is_dead(2, 3));
+        assert!(!f.is_dead(3, 2));
+    }
+}

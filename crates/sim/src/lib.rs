@@ -24,6 +24,7 @@
 //! recorded from real algorithm executions and replays them with an event
 //! queue, yielding virtual completion times plus traffic statistics.
 
+pub mod fault;
 pub mod machine;
 pub mod noise;
 pub mod port;
@@ -31,8 +32,11 @@ pub mod replay;
 pub mod stats;
 pub mod time;
 
+pub use fault::{DeadLink, LinkDegradation, SimFaults, Straggler};
 pub use machine::{CpuParams, IntranodeParams, LinkParams, Machine, PortAssignment, Topology};
 pub use noise::NoiseModel;
-pub use replay::{simulate, ReplayError, SimOutcome};
+pub use replay::{
+    simulate, simulate_faulty, simulate_noisy, BlockedRank, PendingOp, ReplayError, SimOutcome,
+};
 pub use stats::{RankBreakdown, SimStats};
 pub use time::SimTime;

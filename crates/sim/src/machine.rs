@@ -13,10 +13,10 @@
 //! `beta` = ns *per byte* (so 25 GB/s ⇒ β = 0.04 ns/B), matching the α-β-γ
 //! model in the paper and in `exacoll-models`.
 
-use serde::{Deserialize, Serialize};
+use exacoll_json::Value;
 
 /// Internode link / path parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// End-to-end small-message latency α (ns) for a minimal intra-group path.
     pub alpha_ns: f64,
@@ -30,7 +30,7 @@ pub struct LinkParams {
 }
 
 /// Intranode fabric parameters (Infinity Fabric, NVLink, shared memory).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntranodeParams {
     /// Intranode small-message latency (ns).
     pub alpha_ns: f64,
@@ -41,7 +41,7 @@ pub struct IntranodeParams {
 }
 
 /// Per-rank CPU/software costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuParams {
     /// Cost of posting a send: the full MPI software injection path (ns).
     pub o_send_ns: f64,
@@ -54,7 +54,7 @@ pub struct CpuParams {
 }
 
 /// How a node's ranks use the node's NIC ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortAssignment {
     /// Multi-rail: each transfer claims the least-busy port of the node's
     /// pool. Models MPICH multirail striping and the 1-process-per-node
@@ -68,7 +68,7 @@ pub enum PortAssignment {
 /// Network topology. Exascale networks use dragonfly with minimal adaptive
 /// routing (§II-B1), so the model's only topological effect is added latency
 /// on inter-group paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Every pair of nodes is equidistant.
     Flat,
@@ -81,7 +81,7 @@ pub enum Topology {
 }
 
 /// A complete machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Human-readable name, e.g. `"frontier-128x1"`.
     pub name: String,
@@ -199,19 +199,19 @@ impl Machine {
                 PortAssignment::Pinned
             },
             inter: LinkParams {
-                alpha_ns: 2_000.0,            // ~2 us MPI small-message latency
-                beta_ns_per_byte: 0.04,       // 200 Gb/s = 25 GB/s per port
-                inter_group_extra_ns: 400.0,  // extra global-link hop
-                msg_overhead_ns: 5.0,         // ~200M msg/s NIC
+                alpha_ns: 2_000.0,           // ~2 us MPI small-message latency
+                beta_ns_per_byte: 0.04,      // 200 Gb/s = 25 GB/s per port
+                inter_group_extra_ns: 400.0, // extra global-link hop
+                msg_overhead_ns: 5.0,        // ~200M msg/s NIC
             },
             intra: IntranodeParams {
-                alpha_ns: 500.0,              // Infinity Fabric / XGMI hop
-                beta_ns_per_byte: 0.02,       // ~50 GB/s per direction per GCD
+                alpha_ns: 500.0,        // Infinity Fabric / XGMI hop
+                beta_ns_per_byte: 0.02, // ~50 GB/s per direction per GCD
                 msg_overhead_ns: 5.0,
             },
             cpu: CpuParams {
-                o_send_ns: 400.0, // MPI send path incl. GPU-aware staging
-                o_recv_ns: 5.0,   // pre-posted receive descriptor (NIC-driven)
+                o_send_ns: 400.0,         // MPI send path incl. GPU-aware staging
+                o_recv_ns: 5.0,           // pre-posted receive descriptor (NIC-driven)
                 gamma_ns_per_byte: 0.005, // HBM-bound reduction ~200 GB/s eff.
                 compute_fixed_ns: 10.0,
             },
@@ -286,8 +286,8 @@ impl Machine {
                 msg_overhead_ns: 5.0,
             },
             intra: IntranodeParams {
-                alpha_ns: 600.0,          // Xe-Link hop
-                beta_ns_per_byte: 0.025,  // ~40 GB/s per direction per tile
+                alpha_ns: 600.0,         // Xe-Link hop
+                beta_ns_per_byte: 0.025, // ~40 GB/s per direction per tile
                 msg_overhead_ns: 5.0,
             },
             cpu: CpuParams {
@@ -334,6 +334,183 @@ impl Machine {
             rendezvous_threshold: 4096,
             global_links_per_group: usize::MAX,
         }
+    }
+}
+
+/// Serialize a possibly-unbounded count: `usize::MAX` means "unlimited" and
+/// maps to JSON `null` (f64-backed JSON numbers cannot hold it exactly).
+fn bound_to_json(v: usize) -> Value {
+    if v == usize::MAX {
+        Value::Null
+    } else {
+        Value::Num(v as f64)
+    }
+}
+
+fn bound_from_json(v: &Value) -> Result<usize, String> {
+    if v.is_null() {
+        Ok(usize::MAX)
+    } else {
+        v.as_usize()
+    }
+}
+
+impl LinkParams {
+    fn to_json(self) -> Value {
+        Value::obj(vec![
+            ("alpha_ns", Value::Num(self.alpha_ns)),
+            ("beta_ns_per_byte", Value::Num(self.beta_ns_per_byte)),
+            (
+                "inter_group_extra_ns",
+                Value::Num(self.inter_group_extra_ns),
+            ),
+            ("msg_overhead_ns", Value::Num(self.msg_overhead_ns)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<LinkParams, String> {
+        Ok(LinkParams {
+            alpha_ns: v.req("alpha_ns")?.as_f64()?,
+            beta_ns_per_byte: v.req("beta_ns_per_byte")?.as_f64()?,
+            inter_group_extra_ns: v.req("inter_group_extra_ns")?.as_f64()?,
+            msg_overhead_ns: v.req("msg_overhead_ns")?.as_f64()?,
+        })
+    }
+}
+
+impl IntranodeParams {
+    fn to_json(self) -> Value {
+        Value::obj(vec![
+            ("alpha_ns", Value::Num(self.alpha_ns)),
+            ("beta_ns_per_byte", Value::Num(self.beta_ns_per_byte)),
+            ("msg_overhead_ns", Value::Num(self.msg_overhead_ns)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<IntranodeParams, String> {
+        Ok(IntranodeParams {
+            alpha_ns: v.req("alpha_ns")?.as_f64()?,
+            beta_ns_per_byte: v.req("beta_ns_per_byte")?.as_f64()?,
+            msg_overhead_ns: v.req("msg_overhead_ns")?.as_f64()?,
+        })
+    }
+}
+
+impl CpuParams {
+    fn to_json(self) -> Value {
+        Value::obj(vec![
+            ("o_send_ns", Value::Num(self.o_send_ns)),
+            ("o_recv_ns", Value::Num(self.o_recv_ns)),
+            ("gamma_ns_per_byte", Value::Num(self.gamma_ns_per_byte)),
+            ("compute_fixed_ns", Value::Num(self.compute_fixed_ns)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<CpuParams, String> {
+        Ok(CpuParams {
+            o_send_ns: v.req("o_send_ns")?.as_f64()?,
+            o_recv_ns: v.req("o_recv_ns")?.as_f64()?,
+            gamma_ns_per_byte: v.req("gamma_ns_per_byte")?.as_f64()?,
+            compute_fixed_ns: v.req("compute_fixed_ns")?.as_f64()?,
+        })
+    }
+}
+
+impl PortAssignment {
+    fn to_json(self) -> Value {
+        Value::Str(
+            match self {
+                PortAssignment::Pooled => "pooled",
+                PortAssignment::Pinned => "pinned",
+            }
+            .into(),
+        )
+    }
+
+    fn from_json(v: &Value) -> Result<PortAssignment, String> {
+        match v.as_str()? {
+            "pooled" => Ok(PortAssignment::Pooled),
+            "pinned" => Ok(PortAssignment::Pinned),
+            other => Err(format!("unknown port assignment `{other}`")),
+        }
+    }
+}
+
+impl Topology {
+    fn to_json(self) -> Value {
+        match self {
+            Topology::Flat => Value::Str("flat".into()),
+            Topology::Dragonfly { group_nodes } => Value::obj(vec![(
+                "dragonfly",
+                Value::obj(vec![("group_nodes", Value::Num(group_nodes as f64))]),
+            )]),
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<Topology, String> {
+        if let Ok("flat") = v.as_str() {
+            return Ok(Topology::Flat);
+        }
+        if let Some(df) = v.get("dragonfly") {
+            return Ok(Topology::Dragonfly {
+                group_nodes: df.req("group_nodes")?.as_usize()?,
+            });
+        }
+        Err(format!("unknown topology {v}"))
+    }
+}
+
+impl Machine {
+    /// Serialize to a JSON value (the on-disk machine description format).
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::Str(self.name.clone())),
+            ("nodes", Value::Num(self.nodes as f64)),
+            ("ppn", Value::Num(self.ppn as f64)),
+            ("ports_per_node", Value::Num(self.ports_per_node as f64)),
+            ("port_assignment", self.port_assignment.to_json()),
+            ("inter", self.inter.to_json()),
+            ("intra", self.intra.to_json()),
+            ("cpu", self.cpu.to_json()),
+            ("topology", self.topology.to_json()),
+            ("send_buffer_depth", bound_to_json(self.send_buffer_depth)),
+            (
+                "rendezvous_threshold",
+                Value::Num(self.rendezvous_threshold as f64),
+            ),
+            (
+                "global_links_per_group",
+                bound_to_json(self.global_links_per_group),
+            ),
+        ])
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    /// Parse a machine description from a JSON value.
+    pub fn from_json_value(v: &Value) -> Result<Machine, String> {
+        Ok(Machine {
+            name: v.req("name")?.as_str()?.to_string(),
+            nodes: v.req("nodes")?.as_usize()?,
+            ppn: v.req("ppn")?.as_usize()?,
+            ports_per_node: v.req("ports_per_node")?.as_usize()?,
+            port_assignment: PortAssignment::from_json(v.req("port_assignment")?)?,
+            inter: LinkParams::from_json(v.req("inter")?)?,
+            intra: IntranodeParams::from_json(v.req("intra")?)?,
+            cpu: CpuParams::from_json(v.req("cpu")?)?,
+            topology: Topology::from_json(v.req("topology")?)?,
+            send_buffer_depth: bound_from_json(v.req("send_buffer_depth")?)?,
+            rendezvous_threshold: v.req("rendezvous_threshold")?.as_usize()?,
+            global_links_per_group: bound_from_json(v.req("global_links_per_group")?)?,
+        })
+    }
+
+    /// Parse a machine description from JSON text.
+    pub fn from_json(json: &str) -> Result<Machine, String> {
+        Machine::from_json_value(&exacoll_json::parse(json)?)
     }
 }
 
@@ -408,10 +585,34 @@ mod tests {
     }
 
     #[test]
-    fn machine_serde_roundtrip() {
-        let m = Machine::frontier(32, 8);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Machine = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
+    fn machine_json_roundtrip() {
+        for m in [
+            Machine::frontier(32, 8),
+            Machine::polaris(16, 4),
+            Machine::testbed(4, 1, 2),
+        ] {
+            let json = m.to_json();
+            let back = Machine::from_json(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn machine_json_preserves_unbounded_sentinels() {
+        let mut m = Machine::frontier(8, 1);
+        m.global_links_per_group = 2;
+        let json = m.to_json();
+        // Unlimited buffering serializes as null; the finite knob as a number.
+        assert!(json.contains("\"send_buffer_depth\": null"));
+        assert!(json.contains("\"global_links_per_group\": 2"));
+        let back = Machine::from_json(&json).unwrap();
+        assert_eq!(back.send_buffer_depth, usize::MAX);
+        assert_eq!(back.global_links_per_group, 2);
+    }
+
+    #[test]
+    fn machine_json_rejects_malformed() {
+        assert!(Machine::from_json("{not json").is_err());
+        assert!(Machine::from_json("{\"name\": \"x\"}").is_err());
     }
 }

@@ -22,15 +22,11 @@ struct Script {
 fn arb_script() -> impl Strategy<Value = Script> {
     (2usize..10)
         .prop_flat_map(|p| {
-            let msg = (0..p, 0..p, 0u32..4, 0usize..4096).prop_filter_map(
-                "no self messages",
-                |(a, b, tag, bytes)| (a != b).then_some((a, b, tag, bytes)),
-            );
-            (
-                Just(p),
-                proptest::collection::vec(msg, 1..40),
-                0.0f64..1.0,
-            )
+            let msg = (0..p, 0..p, 0u32..4, 0usize..4096)
+                .prop_filter_map("no self messages", |(a, b, tag, bytes)| {
+                    (a != b).then_some((a, b, tag, bytes))
+                });
+            (Just(p), proptest::collection::vec(msg, 1..40), 0.0f64..1.0)
         })
         .prop_map(|(p, msgs, cut)| Script { p, msgs, cut })
 }

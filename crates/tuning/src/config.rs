@@ -1,11 +1,12 @@
 //! Selection configuration: serializable rules and the runtime selector.
 
 use exacoll_core::{Algorithm, CollectiveOp};
-use serde::{Deserialize, Serialize};
+use exacoll_json::Value;
 
-/// Serializable mirror of [`Algorithm`] (the core enum stays serde-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// Serializable mirror of [`Algorithm`] (the core enum stays JSON-free).
+/// On disk each spec is an object tagged by `"kind"` in snake_case, e.g.
+/// `{"kind": "knomial", "k": 8}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgSpec {
     /// Naïve linear.
     Linear,
@@ -72,6 +73,48 @@ impl From<Algorithm> for AlgSpec {
     }
 }
 
+impl AlgSpec {
+    fn to_json(self) -> Value {
+        let (kind, params): (&str, Vec<(&str, usize)>) = match self {
+            AlgSpec::Linear => ("linear", vec![]),
+            AlgSpec::Knomial { k } => ("knomial", vec![("k", k)]),
+            AlgSpec::RecursiveMultiplying { k } => ("recursive_multiplying", vec![("k", k)]),
+            AlgSpec::Ring => ("ring", vec![]),
+            AlgSpec::Kring { k } => ("kring", vec![("k", k)]),
+            AlgSpec::Bruck => ("bruck", vec![]),
+            AlgSpec::ReduceBcast { k } => ("reduce_bcast", vec![("k", k)]),
+            AlgSpec::Dissemination { k } => ("dissemination", vec![("k", k)]),
+            AlgSpec::Hierarchical { ppn, k } => ("hierarchical", vec![("ppn", ppn), ("k", k)]),
+            AlgSpec::Pairwise => ("pairwise", vec![]),
+            AlgSpec::GeneralizedBruck { r } => ("generalized_bruck", vec![("r", r)]),
+        };
+        let mut fields = vec![("kind", Value::Str(kind.into()))];
+        fields.extend(params.into_iter().map(|(n, v)| (n, Value::Num(v as f64))));
+        Value::obj(fields)
+    }
+
+    fn from_json(v: &Value) -> Result<AlgSpec, String> {
+        let field = |name: &str| -> Result<usize, String> { v.req(name)?.as_usize() };
+        match v.req("kind")?.as_str()? {
+            "linear" => Ok(AlgSpec::Linear),
+            "knomial" => Ok(AlgSpec::Knomial { k: field("k")? }),
+            "recursive_multiplying" => Ok(AlgSpec::RecursiveMultiplying { k: field("k")? }),
+            "ring" => Ok(AlgSpec::Ring),
+            "kring" => Ok(AlgSpec::Kring { k: field("k")? }),
+            "bruck" => Ok(AlgSpec::Bruck),
+            "reduce_bcast" => Ok(AlgSpec::ReduceBcast { k: field("k")? }),
+            "dissemination" => Ok(AlgSpec::Dissemination { k: field("k")? }),
+            "hierarchical" => Ok(AlgSpec::Hierarchical {
+                ppn: field("ppn")?,
+                k: field("k")?,
+            }),
+            "pairwise" => Ok(AlgSpec::Pairwise),
+            "generalized_bruck" => Ok(AlgSpec::GeneralizedBruck { r: field("r")? }),
+            other => Err(format!("unknown algorithm kind `{other}`")),
+        }
+    }
+}
+
 impl From<AlgSpec> for Algorithm {
     fn from(s: AlgSpec) -> Self {
         match s {
@@ -90,9 +133,8 @@ impl From<AlgSpec> for Algorithm {
     }
 }
 
-/// Serializable mirror of [`CollectiveOp`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+/// Serializable mirror of [`CollectiveOp`]; on disk a snake_case string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpSpec {
     /// `MPI_Bcast`.
     Bcast,
@@ -127,6 +169,38 @@ impl From<CollectiveOp> for OpSpec {
     }
 }
 
+impl OpSpec {
+    fn to_json(self) -> Value {
+        Value::Str(
+            match self {
+                OpSpec::Bcast => "bcast",
+                OpSpec::Reduce => "reduce",
+                OpSpec::Gather => "gather",
+                OpSpec::Allgather => "allgather",
+                OpSpec::Allreduce => "allreduce",
+                OpSpec::Barrier => "barrier",
+                OpSpec::Alltoall => "alltoall",
+                OpSpec::ReduceScatter => "reduce_scatter",
+            }
+            .into(),
+        )
+    }
+
+    fn from_json(v: &Value) -> Result<OpSpec, String> {
+        match v.as_str()? {
+            "bcast" => Ok(OpSpec::Bcast),
+            "reduce" => Ok(OpSpec::Reduce),
+            "gather" => Ok(OpSpec::Gather),
+            "allgather" => Ok(OpSpec::Allgather),
+            "allreduce" => Ok(OpSpec::Allreduce),
+            "barrier" => Ok(OpSpec::Barrier),
+            "alltoall" => Ok(OpSpec::Alltoall),
+            "reduce_scatter" => Ok(OpSpec::ReduceScatter),
+            other => Err(format!("unknown collective `{other}`")),
+        }
+    }
+}
+
 impl From<OpSpec> for CollectiveOp {
     fn from(s: OpSpec) -> Self {
         match s {
@@ -144,7 +218,7 @@ impl From<OpSpec> for CollectiveOp {
 
 /// One selection rule: for `op`, message sizes in `[min_size, max_size)`
 /// (`max_size` = `None` means unbounded) use `alg`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SelectionRule {
     /// Collective this rule applies to.
     pub op: OpSpec,
@@ -157,15 +231,42 @@ pub struct SelectionRule {
 }
 
 impl SelectionRule {
+    fn to_json(self) -> Value {
+        Value::obj(vec![
+            ("op", self.op.to_json()),
+            ("min_size", Value::Num(self.min_size as f64)),
+            (
+                "max_size",
+                match self.max_size {
+                    Some(m) => Value::Num(m as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("alg", self.alg.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<SelectionRule, String> {
+        let max = v.req("max_size")?;
+        Ok(SelectionRule {
+            op: OpSpec::from_json(v.req("op")?)?,
+            min_size: v.req("min_size")?.as_usize()?,
+            max_size: if max.is_null() {
+                None
+            } else {
+                Some(max.as_usize()?)
+            },
+            alg: AlgSpec::from_json(v.req("alg")?)?,
+        })
+    }
+
     fn matches(&self, op: CollectiveOp, n: usize) -> bool {
-        OpSpec::from(op) == self.op
-            && n >= self.min_size
-            && self.max_size.is_none_or(|m| n < m)
+        OpSpec::from(op) == self.op && n >= self.min_size && self.max_size.is_none_or(|m| n < m)
     }
 }
 
 /// A machine-specific selection configuration (the §VI-G artifact).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectionConfig {
     /// Machine the configuration was tuned for.
     pub machine: String,
@@ -178,13 +279,32 @@ pub struct SelectionConfig {
 impl SelectionConfig {
     /// Serialize to pretty JSON (the on-disk format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        Value::obj(vec![
+            ("machine", Value::Str(self.machine.clone())),
+            ("ranks", Value::Num(self.ranks as f64)),
+            (
+                "rules",
+                Value::Arr(self.rules.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parse from JSON, validating that every rule's algorithm supports its
     /// collective at the configured rank count.
     pub fn from_json(json: &str) -> Result<SelectionConfig, String> {
-        let cfg: SelectionConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let v = exacoll_json::parse(json)?;
+        let rules = v
+            .req("rules")?
+            .as_arr()?
+            .iter()
+            .map(SelectionRule::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let cfg = SelectionConfig {
+            machine: v.req("machine")?.as_str()?.to_string(),
+            ranks: v.req("ranks")?.as_usize()?,
+            rules,
+        };
         cfg.validate()?;
         Ok(cfg)
     }

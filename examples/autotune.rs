@@ -20,7 +20,11 @@ fn main() {
         sizes: (3..=20).step_by(2).map(|e| 1usize << e).collect(),
         max_k: 16,
     };
-    println!("autotuning {} over {} sizes ...", machine.name, opts.sizes.len());
+    println!(
+        "autotuning {} over {} sizes ...",
+        machine.name,
+        opts.sizes.len()
+    );
     let cfg = autotune(&machine, &opts);
 
     let path = format!("/tmp/exacoll_selection_{}.json", machine.name);

@@ -23,13 +23,7 @@ const RADIX: usize = 4; // recursive-multiplying radix
 /// Global dot product via recursive-multiplying allreduce.
 fn dot<C: Comm>(c: &mut C, a: &[f64], b: &[f64]) -> CommResult<f64> {
     let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-    let out = allreduce_recmult(
-        c,
-        RADIX,
-        &local.to_le_bytes(),
-        DType::F64,
-        ReduceOp::Sum,
-    )?;
+    let out = allreduce_recmult(c, RADIX, &local.to_le_bytes(), DType::F64, ReduceOp::Sum)?;
     Ok(buffer::bytes_f64(&out)[0])
 }
 
@@ -95,10 +89,7 @@ fn main() {
             }
             rs_old = rs_new;
         }
-        let err: f64 = x
-            .iter()
-            .map(|v| (v - 1.0).abs())
-            .fold(0.0f64, f64::max);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
         Ok((iters, rs_old.sqrt(), err))
     });
 

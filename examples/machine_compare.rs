@@ -56,7 +56,10 @@ fn main() {
         (Machine::aurora(32, 1), "8 ports"),
     ] {
         let mut t = Table::new(
-            format!("64 KB MPI_Allreduce recursive multiplying on {} ({label})", m.name),
+            format!(
+                "64 KB MPI_Allreduce recursive multiplying on {} ({label})",
+                m.name
+            ),
             &["k", "latency (us)"],
         );
         for k in [2usize, 4, 8, 16] {

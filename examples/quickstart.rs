@@ -23,8 +23,13 @@ fn main() {
         "8-byte MPI_Reduce: binomial vs k-nomial radix sweep",
         &["algorithm", "latency (us)", "speedup vs binomial"],
     );
-    let base = latency(&machine, CollectiveOp::Reduce, Algorithm::KnomialTree { k: 2 }, 8)
-        .expect("simulation runs");
+    let base = latency(
+        &machine,
+        CollectiveOp::Reduce,
+        Algorithm::KnomialTree { k: 2 },
+        8,
+    )
+    .expect("simulation runs");
     for k in [2usize, 4, 16, 64, 128] {
         let alg = Algorithm::KnomialTree { k };
         let lat = latency(&machine, CollectiveOp::Reduce, alg, 8).expect("simulation runs");

@@ -14,6 +14,8 @@
 //! * [`models`] — the paper's analytical α-β-γ cost models (Eqs. 1–14).
 //! * [`tuning`] — algorithm/radix selection configuration and autotuner.
 //! * [`osu`] — OSU-style microbenchmark harness and vendor baseline policy.
+//! * [`chaos`] — fault-injection campaign runner exercising the runtime's
+//!   hang-free guarantee (drop/delay/duplicate/corrupt/kill).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 //! assert!(t.as_micros() > 0.0);
 //! ```
 
+pub use exacoll_chaos as chaos;
 pub use exacoll_comm as comm;
 pub use exacoll_core as collectives;
 pub use exacoll_models as models;

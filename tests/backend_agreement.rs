@@ -19,7 +19,11 @@ fn check_wait_discipline(t: &RankTrace) {
         if let TraceOp::WaitAll { reqs } = op {
             for &r in reqs {
                 let r = r as usize;
-                assert!(r < i, "rank {}: wait at {i} references future op {r}", t.rank);
+                assert!(
+                    r < i,
+                    "rank {}: wait at {i} references future op {r}",
+                    t.rank
+                );
                 assert!(
                     matches!(t.ops[r], TraceOp::Send { .. } | TraceOp::Recv { .. }),
                     "rank {}: wait references non-request op {r}",
@@ -107,7 +111,13 @@ fn message_counts_match_paper_round_structure() {
         assert_eq!(t.messages_sent(), p - 1);
     }
     // K-ring: identical round count (Eq. 12), k | p.
-    for t in record_collective(p, CollectiveOp::Allgather, Algorithm::KRing { k: 4 }, 256, 0) {
+    for t in record_collective(
+        p,
+        CollectiveOp::Allgather,
+        Algorithm::KRing { k: 4 },
+        256,
+        0,
+    ) {
         assert_eq!(t.messages_sent(), p - 1);
     }
     // Recursive multiplying with k = 4 on p = 16: 2 rounds x 3 partners.
@@ -121,7 +131,13 @@ fn message_counts_match_paper_round_structure() {
         assert_eq!(t.messages_sent(), 6);
     }
     // Binomial bcast: the root sends log2(p) messages, leaves none.
-    let traces = record_collective(p, CollectiveOp::Bcast, Algorithm::KnomialTree { k: 2 }, 256, 0);
+    let traces = record_collective(
+        p,
+        CollectiveOp::Bcast,
+        Algorithm::KnomialTree { k: 2 },
+        256,
+        0,
+    );
     assert_eq!(traces[0].messages_sent(), 4);
     let total: usize = traces.iter().map(|t| t.messages_sent()).sum();
     assert_eq!(total, p - 1, "tree bcast sends exactly p-1 messages");

@@ -23,6 +23,7 @@ fn random_inputs(p: usize, count: usize, dtype: DType, seed: u64) -> Vec<Vec<u8>
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_grid_point(
     op: CollectiveOp,
     alg: Algorithm,
@@ -76,7 +77,11 @@ fn every_candidate_every_collective_small_counts() {
 
 #[test]
 fn rotated_roots_for_rooted_collectives() {
-    for op in [CollectiveOp::Bcast, CollectiveOp::Reduce, CollectiveOp::Gather] {
+    for op in [
+        CollectiveOp::Bcast,
+        CollectiveOp::Reduce,
+        CollectiveOp::Gather,
+    ] {
         for p in [5usize, 9, 12] {
             for root in [1, p / 2, p - 1] {
                 for alg in candidates(op, p, 4) {
@@ -146,9 +151,30 @@ fn large_radixes_and_flat_trees() {
 
 #[test]
 fn kring_divisible_configurations() {
-    for (p, k) in [(6usize, 2usize), (6, 3), (6, 6), (8, 4), (12, 4), (16, 8), (16, 2)] {
-        for op in [CollectiveOp::Bcast, CollectiveOp::Allgather, CollectiveOp::Allreduce] {
-            check_grid_point(op, Algorithm::KRing { k }, p, 0, 9, DType::I64, ReduceOp::Sum, 5);
+    for (p, k) in [
+        (6usize, 2usize),
+        (6, 3),
+        (6, 6),
+        (8, 4),
+        (12, 4),
+        (16, 8),
+        (16, 2),
+    ] {
+        for op in [
+            CollectiveOp::Bcast,
+            CollectiveOp::Allgather,
+            CollectiveOp::Allreduce,
+        ] {
+            check_grid_point(
+                op,
+                Algorithm::KRing { k },
+                p,
+                0,
+                9,
+                DType::I64,
+                ReduceOp::Sum,
+                5,
+            );
         }
     }
 }
@@ -157,7 +183,11 @@ fn kring_divisible_configurations() {
 fn recmult_fold_heavy_counts() {
     // Primes and non-smooth counts stress the fold/unfold corner cases.
     for (p, k) in [(5usize, 2usize), (7, 3), (11, 2), (13, 4), (17, 4), (19, 3)] {
-        for op in [CollectiveOp::Bcast, CollectiveOp::Allgather, CollectiveOp::Allreduce] {
+        for op in [
+            CollectiveOp::Bcast,
+            CollectiveOp::Allgather,
+            CollectiveOp::Allreduce,
+        ] {
             check_grid_point(
                 op,
                 Algorithm::RecursiveMultiplying { k },

@@ -56,9 +56,27 @@ fn hierarchical_traffic_stays_mostly_intranode() {
 #[test]
 fn barrier_latency_shrinks_with_radix_until_port_limits() {
     let m = Machine::frontier(64, 1);
-    let t2 = latency(&m, CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 }, 0).unwrap();
-    let t4 = latency(&m, CollectiveOp::Barrier, Algorithm::Dissemination { k: 4 }, 0).unwrap();
-    let t8 = latency(&m, CollectiveOp::Barrier, Algorithm::Dissemination { k: 8 }, 0).unwrap();
+    let t2 = latency(
+        &m,
+        CollectiveOp::Barrier,
+        Algorithm::Dissemination { k: 2 },
+        0,
+    )
+    .unwrap();
+    let t4 = latency(
+        &m,
+        CollectiveOp::Barrier,
+        Algorithm::Dissemination { k: 4 },
+        0,
+    )
+    .unwrap();
+    let t8 = latency(
+        &m,
+        CollectiveOp::Barrier,
+        Algorithm::Dissemination { k: 8 },
+        0,
+    )
+    .unwrap();
     // ceil(log_k 64): 6 -> 3 -> 2 rounds. Fewer rounds means less alpha,
     // but each round posts k-1 sends, so k=8's two rounds land close to
     // k=4's three — the same per-message-cost ceiling the paper finds for
@@ -73,7 +91,13 @@ fn barrier_makespan_covers_the_latest_entrant() {
     // A barrier's makespan must not be shorter than a single network
     // latency even when most ranks enter instantly.
     let m = Machine::frontier(16, 1);
-    let t = latency(&m, CollectiveOp::Barrier, Algorithm::Dissemination { k: 16 }, 0).unwrap();
+    let t = latency(
+        &m,
+        CollectiveOp::Barrier,
+        Algorithm::Dissemination { k: 16 },
+        0,
+    )
+    .unwrap();
     assert!(t.as_nanos() >= m.inter.alpha_ns);
 }
 

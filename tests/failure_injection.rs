@@ -5,7 +5,7 @@ use exacoll::collectives::{execute, Algorithm, CollArgs, CollectiveOp};
 use exacoll::comm::thread_rt::try_run_ranks;
 use exacoll::comm::trace::check_conservation;
 use exacoll::comm::{record_traces, Comm, CommError, DType, ReduceOp};
-use exacoll::sim::{simulate, Machine, ReplayError};
+use exacoll::sim::{simulate, Machine, PendingOp, ReplayError};
 
 #[test]
 fn mismatched_payload_sizes_truncate() {
@@ -19,7 +19,11 @@ fn mismatched_payload_sizes_truncate() {
     assert!(results[0].is_ok());
     assert!(matches!(
         results[1],
-        Err(CommError::Truncation { posted: 8, arrived: 64, .. })
+        Err(CommError::Truncation {
+            posted: 8,
+            arrived: 64,
+            ..
+        })
     ));
 }
 
@@ -33,7 +37,7 @@ fn reduction_with_wrong_operator_dtype_pair_fails_cleanly() {
             dtype: DType::F64,
             rop: ReduceOp::BAnd, // undefined for floats
         };
-        execute(c, &args, &vec![0u8; 16]).map(|_| ())
+        execute(c, &args, &[0u8; 16]).map(|_| ())
     });
     assert!(results
         .iter()
@@ -67,9 +71,27 @@ fn blocked_receiver_is_a_replay_deadlock() {
     });
     let m = Machine::testbed(3, 1, 1);
     match simulate(&m, &traces) {
-        Err(ReplayError::Deadlock { blocked }) => {
-            // Rank 2 parks at its wait (op index 1, after the posted recv).
-            assert_eq!(blocked, vec![(2, 1)]);
+        Err(err @ ReplayError::Deadlock { .. }) => {
+            let ReplayError::Deadlock { ref blocked } = err else {
+                unreachable!()
+            };
+            // Rank 2 parks at its wait (op index 1, after the posted recv),
+            // and the diagnostics name the unmatched (peer, tag, bytes).
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].rank, 2);
+            assert_eq!(blocked[0].op, 1);
+            assert_eq!(
+                blocked[0].pending,
+                vec![PendingOp::RecvFrom {
+                    peer: 0,
+                    tag: 77,
+                    bytes: 128,
+                }]
+            );
+            // The human-readable form carries the same information.
+            let msg = err.to_string();
+            assert!(msg.contains("rank 2"), "got: {msg}");
+            assert!(msg.contains("recv from 0 tag 77 (128 B)"), "got: {msg}");
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
@@ -81,7 +103,10 @@ fn wrong_trace_count_rejected() {
     let m = Machine::testbed(4, 1, 1);
     assert!(matches!(
         simulate(&m, &traces),
-        Err(ReplayError::RankMismatch { machine_ranks: 4, traces: 3 })
+        Err(ReplayError::RankMismatch {
+            machine_ranks: 4,
+            traces: 3
+        })
     ));
 }
 

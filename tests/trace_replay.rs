@@ -13,8 +13,7 @@ fn all_schedules_conserve_messages() {
         for op in CollectiveOp::ALL {
             for alg in candidates(op, p, 4) {
                 let traces = record_collective(p, op, alg, 256, 0);
-                check_conservation(&traces)
-                    .unwrap_or_else(|e| panic!("{op} {alg} p={p}: {e}"));
+                check_conservation(&traces).unwrap_or_else(|e| panic!("{op} {alg} p={p}: {e}"));
             }
         }
     }
@@ -85,8 +84,14 @@ fn kring_inter_group_traffic_matches_eq13() {
 #[test]
 fn one_ppn_has_no_intranode_traffic() {
     let m = Machine::frontier(8, 1);
-    let out = measure(&m, CollectiveOp::Allreduce, Algorithm::RecursiveMultiplying { k: 4 }, 4096, 0)
-        .unwrap();
+    let out = measure(
+        &m,
+        CollectiveOp::Allreduce,
+        Algorithm::RecursiveMultiplying { k: 4 },
+        4096,
+        0,
+    )
+    .unwrap();
     assert_eq!(out.stats.intra_messages, 0);
     assert!(out.stats.inter_messages > 0);
 }
@@ -94,7 +99,14 @@ fn one_ppn_has_no_intranode_traffic() {
 #[test]
 fn single_node_has_no_internode_traffic() {
     let m = Machine::frontier(1, 8);
-    let out = measure(&m, CollectiveOp::Allgather, Algorithm::KRing { k: 8 }, 4096, 0).unwrap();
+    let out = measure(
+        &m,
+        CollectiveOp::Allgather,
+        Algorithm::KRing { k: 8 },
+        4096,
+        0,
+    )
+    .unwrap();
     assert_eq!(out.stats.inter_messages, 0);
     assert!(out.stats.intra_messages > 0);
 }
@@ -102,8 +114,22 @@ fn single_node_has_no_internode_traffic() {
 #[test]
 fn compute_bytes_accounted_for_reductions_only() {
     let m = Machine::frontier(8, 1);
-    let red = measure(&m, CollectiveOp::Reduce, Algorithm::KnomialTree { k: 2 }, 1024, 0).unwrap();
+    let red = measure(
+        &m,
+        CollectiveOp::Reduce,
+        Algorithm::KnomialTree { k: 2 },
+        1024,
+        0,
+    )
+    .unwrap();
     assert!(red.stats.compute_bytes > 0);
-    let bc = measure(&m, CollectiveOp::Bcast, Algorithm::KnomialTree { k: 2 }, 1024, 0).unwrap();
+    let bc = measure(
+        &m,
+        CollectiveOp::Bcast,
+        Algorithm::KnomialTree { k: 2 },
+        1024,
+        0,
+    )
+    .unwrap();
     assert_eq!(bc.stats.compute_bytes, 0);
 }

@@ -108,7 +108,10 @@ fn autotuned_radix_matches_port_count_for_allreduce() {
     let alg = sel.select(CollectiveOp::Allreduce, 1024);
     match alg {
         Algorithm::RecursiveMultiplying { k } => {
-            assert!((4..=6).contains(&k), "expected port-matched radix, got {alg}")
+            assert!(
+                (4..=6).contains(&k),
+                "expected port-matched radix, got {alg}"
+            )
         }
         other => panic!("expected recursive multiplying, got {other}"),
     }

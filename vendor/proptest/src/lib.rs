@@ -1,0 +1,245 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), range/tuple/`Just`
+//! strategies, `prop_map` / `prop_flat_map` / `prop_filter_map`,
+//! `collection::vec`, and panic-based `prop_assert!`s.
+//!
+//! Differences from the real crate: sampling is plain seeded Monte-Carlo
+//! (no shrinking, no persisted failure seeds) and `prop_assert!` panics
+//! rather than returning a `TestCaseError`. Every test remains fully
+//! deterministic because the generator seed is fixed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration: how many random cases each property executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Create the deterministic generator for one property run.
+pub fn test_rng() -> TestRng {
+    StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A value generator. Combinators erase to [`Mapped`] for simplicity.
+pub trait Strategy: Sized + 'static {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: 'static, F>(self, f: F) -> Mapped<U>
+    where
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Mapped(Box::new(move |rng| f(self.sample(rng))))
+    }
+
+    /// Generate a value, then sample the strategy it induces.
+    fn prop_flat_map<S: Strategy, F>(self, f: F) -> Mapped<S::Value>
+    where
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        Mapped(Box::new(move |rng| f(self.sample(rng)).sample(rng)))
+    }
+
+    /// Keep only samples the closure maps to `Some`.
+    fn prop_filter_map<U: 'static, F>(self, whence: &'static str, f: F) -> Mapped<U>
+    where
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        Mapped(Box::new(move |rng| {
+            for _ in 0..10_000 {
+                if let Some(v) = f(self.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map rejected 10000 consecutive samples: {whence}")
+        }))
+    }
+}
+
+/// A boxed, type-erased strategy (the result of every combinator).
+pub struct Mapped<U>(Box<dyn Fn(&mut TestRng) -> U>);
+
+impl<U: 'static> Strategy for Mapped<U> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.0)(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Mapped, Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are drawn
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> Mapped<Vec<S::Value>> {
+        Mapped(Box::new(move |rng: &mut TestRng| {
+            let n = rng.gen_range(len.clone());
+            (0..n).map(|_| elem.sample(rng)).collect()
+        }))
+    }
+}
+
+/// Panic-based stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panic-based stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The property-test entry macro: wraps each `fn name(pat in strategy, ..)`
+/// in a sampling loop over a deterministic generator.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng();
+            for __case in 0..__cfg.cases {
+                let ($($arg,)*) =
+                    ($($crate::Strategy::sample(&$strat, &mut __rng),)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, Mapped, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose((a, b) in (0usize..5, 0usize..5).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_vec(v in (1usize..6).prop_flat_map(|n| collection::vec(0usize..10, n..n + 1))) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let strat = (0usize..10).prop_filter_map("even only", |x| (x % 2 == 0).then_some(x));
+        let mut rng = crate::test_rng();
+        for _ in 0..100 {
+            assert_eq!(crate::Strategy::sample(&strat, &mut rng) % 2, 0);
+        }
+    }
+}
