@@ -1,0 +1,5 @@
+//! `cargo bench --bench residuals` — per-round model residuals.
+fn main() {
+    let tables = exacoll_bench::residuals::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("residuals", &tables);
+}

@@ -1,0 +1,5 @@
+//! `cargo run --release -p exacoll-bench --bin residuals`
+fn main() {
+    let tables = exacoll_bench::residuals::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("residuals", &tables);
+}

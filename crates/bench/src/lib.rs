@@ -16,6 +16,7 @@
 //! | `fig11`    | Fig. 11 — radix vs latency on Polaris (3 panels)            |
 //! | `selection`| §VI-G — autotuned selection configuration                   |
 //! | `models`   | Eqs. 1–14 — analytical model vs simulator                   |
+//! | `residuals`| per-round measured-vs-model deltas from recorded timelines  |
 //! | `micro`    | criterion micro-benchmarks of the library itself            |
 
 pub mod ablation;
@@ -26,6 +27,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod modelcmp;
+pub mod residuals;
 pub mod selection;
 pub mod table1;
 pub mod variance;

@@ -1,0 +1,85 @@
+//! Per-round model residuals from recorded timelines.
+//!
+//! The `models` bench compares end-to-end latencies; this harness goes one
+//! level deeper: it profiles each kernel on the simulator, segments the
+//! timelines by round mark, and prices every round with the matching α-β-γ
+//! model — the artifact that shows *which* phase of an algorithm the model
+//! gets wrong, not just that the total diverges.
+
+use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_obs::{analyze_residuals, intra_net_of, net_of, profile_sim, ProfileSpec};
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::Table;
+use exacoll_sim::Machine;
+
+/// Round-by-round measured-vs-model tables for the paper's three kernels.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 8 } else { 32 };
+    let cases = [
+        (
+            CollectiveOp::Allreduce,
+            Algorithm::RecursiveMultiplying { k: 4 },
+            1usize << 10,
+        ),
+        (
+            CollectiveOp::Reduce,
+            Algorithm::KnomialTree { k: 4 },
+            1 << 10,
+        ),
+        (CollectiveOp::Allgather, Algorithm::Ring, 1 << 10),
+    ];
+    let mut tables = Vec::new();
+    for (op, alg, size) in cases {
+        let spec = ProfileSpec {
+            op,
+            alg,
+            machine: Machine::frontier(nodes, 1),
+            size,
+        };
+        let run = profile_sim(&spec).expect("profile simulates");
+        let net = net_of(&spec.machine);
+        let intra = intra_net_of(&spec.machine);
+        let report = analyze_residuals(
+            &run.timelines,
+            op,
+            alg,
+            spec.input_len(),
+            &net,
+            Some(&intra),
+        );
+        let mut t = Table::new(
+            format!(
+                "Round residuals: {op} / {alg} @ {} on {} (us)",
+                fmt_size(spec.input_len()),
+                spec.machine.name
+            ),
+            &["phase", "measured", "model", "residual"],
+        );
+        for ph in &report.phases {
+            let (model, resid) = match ph.predicted_ns {
+                Some(pred) => (
+                    format!("{:.1}", pred / 1e3),
+                    ph.relative()
+                        .map_or_else(|| "-".into(), |r| format!("{:+.0}%", r * 100.0)),
+                ),
+                None => ("(unmodeled)".into(), "-".into()),
+            };
+            t.row(vec![
+                format!("{}[{}]", ph.label, ph.round),
+                format!("{:.1}", ph.measured_ns / 1e3),
+                model,
+                resid,
+            ]);
+        }
+        t.row(vec![
+            "total".into(),
+            format!("{:.1}", report.measured_total_ns / 1e3),
+            report
+                .predicted_total_ns
+                .map_or_else(|| "(unmodeled)".into(), |p| format!("{:.1}", p / 1e3)),
+            String::new(),
+        ]);
+        tables.push(t);
+    }
+    tables
+}

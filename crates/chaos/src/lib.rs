@@ -15,13 +15,14 @@
 //! runtime bug, and the campaign reports it as [`Outcome::Mixed`].
 
 use exacoll_comm::{
-    try_run_ranks_with, Comm, CommResult, DType, FaultComm, FaultPlan, ReduceOp, ThreadComm,
-    WorldOptions,
+    try_run_ranks_with, Comm, CommResult, DType, FaultComm, FaultEvent, FaultPlan, ReduceOp,
+    ThreadComm, WorldOptions,
 };
 use exacoll_core::reference::expected_outputs;
 use exacoll_core::registry::candidates;
 use exacoll_core::{execute, Algorithm, CollArgs, CollectiveOp};
-use std::time::Duration;
+use exacoll_obs::{RankTimeline, TimedComm};
+use std::time::{Duration, Instant};
 
 pub use exacoll_core::registry::candidates as algorithm_candidates;
 
@@ -219,6 +220,89 @@ pub fn run_case_results(
             (Err(e), _) | (Ok(_), Err(e)) => Err(e),
         }
     })
+}
+
+/// One rank's instrumented chaos run: the collective's result plus the
+/// observability record of what actually happened.
+#[derive(Debug)]
+pub struct TimedCaseRank {
+    /// The rank's collective result (after the closing barrier).
+    pub result: CommResult<Vec<u8>>,
+    /// Timed event timeline recorded around the fault layer, so injected
+    /// delays show up as inflated send spans.
+    pub timeline: RankTimeline,
+    /// Faults the injector actually fired on this rank.
+    pub faults: Vec<FaultEvent>,
+}
+
+/// [`run_case_results`] with observability: each rank's [`Comm`] stack is
+/// `TimedComm<FaultComm<ThreadComm>>`, so the timeline wraps *around* the
+/// fault layer — an injected delay inflates the corresponding send span,
+/// and the returned [`FaultEvent`]s say which op indices were hit.
+pub fn run_case_timed(
+    op: CollectiveOp,
+    alg: Algorithm,
+    p: usize,
+    plan: FaultPlan,
+    deadline: Duration,
+    payload: usize,
+) -> Vec<TimedCaseRank> {
+    let args = CollArgs {
+        op,
+        alg,
+        root: 0,
+        dtype: DType::U8,
+        rop: ReduceOp::Max,
+    };
+    let opts = WorldOptions { deadline };
+    let epoch = Instant::now();
+    let out = try_run_ranks_with(p, opts, move |c: &mut ThreadComm| {
+        let rank = c.rank();
+        let input = rank_payload(plan.seed, rank, payload);
+        let abort = c.abort_handle();
+        let (res, timeline, faults) = {
+            let fc = FaultComm::new(&mut *c, plan).with_abort(abort);
+            let mut tc = TimedComm::with_epoch(fc, epoch);
+            let res = execute(&mut tc, &args, &input);
+            let (fc, timeline) = tc.into_parts();
+            (res, timeline, fc.into_events())
+        };
+        // Same closing-barrier discipline as `run_case_results`.
+        let bar = match &res {
+            Ok(_) if p > 1 => execute(
+                &mut *c,
+                &CollArgs::new(CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 }),
+                &[],
+            )
+            .map(|_| ()),
+            _ => Ok(()),
+        };
+        let result = match (res, bar) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) | (Ok(_), Err(e)) => Err(e),
+        };
+        Ok((result, timeline, faults))
+    });
+    out.into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok((result, timeline, faults)) => TimedCaseRank {
+                result,
+                timeline,
+                faults,
+            },
+            // The rank never returned (harness-level failure): no record.
+            Err(e) => TimedCaseRank {
+                result: Err(e),
+                timeline: RankTimeline {
+                    rank,
+                    size: p,
+                    events: Vec::new(),
+                },
+                faults: Vec::new(),
+            },
+        })
+        .collect()
 }
 
 /// Classify per-rank results against the reference outputs.

@@ -5,11 +5,14 @@ use exacoll_core::{Algorithm, CollectiveOp};
 use exacoll_sim::Machine;
 use std::collections::HashMap;
 
-/// Parsed `--key value` flags plus the leading subcommand.
+/// Parsed `--key value` flags plus the leading subcommand and an optional
+/// single positional operand (e.g. `profile allreduce --ranks 16`).
 #[derive(Debug)]
 pub struct Args {
     /// The subcommand word.
     pub command: String,
+    /// The bare operand right after the subcommand, if any.
+    positional: Option<String>,
     flags: HashMap<String, String>,
 }
 
@@ -22,6 +25,15 @@ impl Args {
             .clone();
         let mut flags = HashMap::new();
         let mut i = 1;
+        // At most one bare operand, and only directly after the subcommand;
+        // any later bare token is still a parse error.
+        let positional = match argv.get(1) {
+            Some(word) if !word.starts_with("--") => {
+                i = 2;
+                Some(word.clone())
+            }
+            _ => None,
+        };
         while i < argv.len() {
             let key = argv[i]
                 .strip_prefix("--")
@@ -32,7 +44,16 @@ impl Args {
             flags.insert(key.to_string(), value.clone());
             i += 2;
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// The bare operand right after the subcommand, if any.
+    pub fn positional(&self) -> Option<&str> {
+        self.positional.as_deref()
     }
 
     /// A required string flag.
@@ -112,9 +133,16 @@ pub fn parse_op(name: &str) -> Result<CollectiveOp, String> {
         })
 }
 
+/// The algorithm spec grammar, for error messages.
+pub const ALG_SPECS: &str = "linear|ring|bruck|pairwise|binomial|recdoubling|\
+knomial:K|recmult:K|kring:K|reduce+bcast:K|dissemination:K|gbruck:R|hier:PPN:K";
+
 /// Parse an algorithm spec like `ring`, `knomial:8`, `kring:4`, `hier:8:4`.
+/// Comma works as the separator too (`recmult,4`), so specs survive shells
+/// and config formats where `:` is awkward.
 pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
-    let mut parts = spec.split(':');
+    let norm = spec.replace(',', ":");
+    let mut parts = norm.split(':');
     let head = parts.next().unwrap_or_default();
     let mut num = || -> Result<usize, String> {
         parts
@@ -151,7 +179,11 @@ pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
             let k = num()?;
             Algorithm::Hierarchical { ppn, k }
         }
-        other => return Err(format!("unknown algorithm `{other}`")),
+        other => {
+            return Err(format!(
+                "unknown algorithm `{other}` (expected {ALG_SPECS})"
+            ))
+        }
     };
     Ok(alg)
 }
@@ -231,6 +263,42 @@ mod tests {
         );
         assert!(parse_alg("knomial").is_err());
         assert!(parse_alg("wat").is_err());
+    }
+
+    #[test]
+    fn comma_is_a_separator_too() {
+        assert_eq!(
+            parse_alg("recmult,4").unwrap(),
+            parse_alg("recmult:4").unwrap()
+        );
+        assert_eq!(
+            parse_alg("hier,8,4").unwrap(),
+            parse_alg("hier:8:4").unwrap()
+        );
+        assert_eq!(
+            parse_alg("knomial,3").unwrap(),
+            Algorithm::KnomialTree { k: 3 }
+        );
+    }
+
+    #[test]
+    fn unknown_alg_lists_accepted_specs() {
+        let err = parse_alg("wat").unwrap_err();
+        assert!(err.contains("recmult:K"), "missing spec list: {err}");
+        assert!(err.contains("ring"), "missing spec list: {err}");
+        assert!(err.contains("hier:PPN:K"), "missing spec list: {err}");
+    }
+
+    #[test]
+    fn positional_operand() {
+        let a = Args::parse(&argv("profile allreduce --ranks 16")).unwrap();
+        assert_eq!(a.command, "profile");
+        assert_eq!(a.positional(), Some("allreduce"));
+        assert_eq!(a.req_usize("ranks").unwrap(), 16);
+        // Only the slot right after the subcommand is positional.
+        assert!(Args::parse(&argv("profile allreduce bcast")).is_err());
+        let b = Args::parse(&argv("machines")).unwrap();
+        assert_eq!(b.positional(), None);
     }
 
     #[test]

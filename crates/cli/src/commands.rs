@@ -2,6 +2,10 @@
 
 use crate::args::{parse_alg, Args};
 use exacoll_core::{registry::candidates, registry::table_i, CollectiveOp};
+use exacoll_obs::{
+    analyze_residuals, chrome_trace, intra_net_of, net_of, profile_sim, profile_thread,
+    rank_tracks, BackendRun, Metrics, ProfileSpec, RankTimeline,
+};
 use exacoll_osu::sweep::fmt_size;
 use exacoll_osu::{latency, measure, Table, VendorPolicy};
 use exacoll_tuning::{autotune, AutotuneOptions};
@@ -13,6 +17,8 @@ pub const USAGE: &str = "usage:
   exacoll time     --machine <name> --nodes N [--ppn P] --op <coll> --alg <alg[:k]> --size BYTES
   exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
   exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N]
+  exacoll profile  <coll> --alg <alg[:k]> --ranks P [--ppn N] [--machine <name>] [--size BYTES]
+                   [--backend thread|sim|both] [--chrome FILE] [--metrics FILE]
   exacoll machines
   exacoll table1
 
@@ -30,6 +36,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "time" => time(&args),
         "autotune" => run_autotune(&args),
         "chaos" => chaos(&args),
+        "profile" => profile(&args),
         "machines" => machines(),
         "table1" => {
             table1();
@@ -154,6 +161,94 @@ fn chaos(args: &Args) -> Result<(), String> {
     let failed = results.iter().filter(|r| !r.survived).count();
     if failed > 0 {
         return Err(format!("{failed} chaos cases failed"));
+    }
+    Ok(())
+}
+
+/// Profile one collective on both backends: per-rank timelines, critical
+/// path, model-vs-measured residuals, and an optional Chrome trace.
+fn profile(args: &Args) -> Result<(), String> {
+    let op = match args.positional() {
+        Some(name) => crate::args::parse_op(name)?,
+        None => args.op()?,
+    };
+    let alg = parse_alg(args.req("alg")?)?;
+    let ranks = args.req_usize("ranks")?;
+    let ppn = args.opt_usize("ppn", 1)?;
+    if ranks == 0 || ppn == 0 || ranks % ppn != 0 {
+        return Err(format!(
+            "--ranks must be a positive multiple of --ppn (got ranks={ranks}, ppn={ppn})"
+        ));
+    }
+    let machine =
+        crate::args::parse_machine(args.opt("machine").unwrap_or("frontier"), ranks / ppn, ppn)?;
+    let size = match args.opt("size") {
+        None => 1024,
+        Some(s) => crate::args::parse_size(s).ok_or_else(|| format!("bad --size `{s}`"))?,
+    };
+    alg.supports(op, ranks)?;
+    let spec = ProfileSpec {
+        op,
+        alg,
+        machine,
+        size,
+    };
+
+    let runs: Vec<BackendRun> = match args.opt("backend").unwrap_or("both") {
+        "sim" => vec![profile_sim(&spec)?],
+        "thread" => vec![profile_thread(&spec)?],
+        "both" => vec![profile_thread(&spec)?, profile_sim(&spec)?],
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (expected thread|sim|both)"
+            ))
+        }
+    };
+
+    println!(
+        "profile: {op} / {alg} on {} ({ranks} rank(s), {} B per rank)",
+        spec.machine.name,
+        spec.input_len()
+    );
+    let net = net_of(&spec.machine);
+    let intra = intra_net_of(&spec.machine);
+    let mut metrics = Metrics::new();
+    for run in &runs {
+        println!();
+        println!("== backend: {} ==", run.backend);
+        println!("makespan: {:.3} us", run.makespan_ns / 1000.0);
+        let cp = exacoll_obs::critical_path::critical_path(&run.timelines);
+        print!("{}", exacoll_obs::critical_path::render(&cp));
+        let report = analyze_residuals(
+            &run.timelines,
+            op,
+            spec.alg,
+            spec.input_len(),
+            &net,
+            Some(&intra),
+        );
+        print!("{}", exacoll_obs::residual::render(&report));
+        let scope = format!("{op}/{}/{}/{}", spec.alg, spec.input_len(), run.backend);
+        metrics.record_timelines(&scope, &run.timelines);
+    }
+
+    if let Some(path) = args.opt("chrome") {
+        let pairs: Vec<(&str, &[RankTimeline])> = runs
+            .iter()
+            .map(|r| (r.backend, r.timelines.as_slice()))
+            .collect();
+        let doc = chrome_trace(&pairs);
+        let tracks = rank_tracks(&doc)?;
+        std::fs::write(path, doc.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "chrome trace written to {path} ({} track(s)); open it at https://ui.perfetto.dev",
+            tracks.len()
+        );
+    }
+    if let Some(path) = args.opt("metrics") {
+        std::fs::write(path, metrics.to_json().pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! exacoll radix    --machine frontier --nodes 128 --ppn 1 --op allreduce --size 65536 [--max-k 32]
 //! exacoll autotune --machine frontier --nodes 32  --ppn 1 [--out cfg.json] [--max-k 16]
 //! exacoll time     --machine polaris  --nodes 64  --ppn 4 --op bcast --alg kring:4 --size 1048576
+//! exacoll profile  allreduce --alg recmult,4 --ranks 16 [--chrome trace.json]
 //! exacoll machines
 //! exacoll table1
 //! ```
@@ -12,9 +13,7 @@
 //! Machines are the simulated presets of `exacoll-sim`; all latencies are
 //! virtual microseconds.
 
-mod args;
-mod commands;
-
+use exacoll_cli::commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

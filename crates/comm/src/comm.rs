@@ -54,6 +54,12 @@ pub trait Comm {
     /// the trace backend records it.
     fn compute(&mut self, bytes: usize);
 
+    /// Annotate the schedule with a round/phase boundary: `label` names the
+    /// phase (a static string so annotations stay allocation-free on hot
+    /// paths) and `round` is the 0-based round index within that phase.
+    /// Purely observational — backends that don't record timelines ignore it.
+    fn mark(&mut self, _label: &'static str, _round: u32) {}
+
     /// Blocking send: post and wait.
     fn send(&mut self, to: Rank, tag: Tag, data: Vec<u8>) -> CommResult<()> {
         let r = self.isend(to, tag, data)?;
@@ -111,5 +117,8 @@ impl<C: Comm> Comm for &mut C {
     }
     fn compute(&mut self, bytes: usize) {
         (**self).compute(bytes)
+    }
+    fn mark(&mut self, label: &'static str, round: u32) {
+        (**self).mark(label, round)
     }
 }

@@ -328,6 +328,10 @@ impl<C: Comm> Comm for FaultComm<C> {
     fn compute(&mut self, bytes: usize) {
         self.inner.compute(bytes)
     }
+
+    fn mark(&mut self, label: &'static str, round: u32) {
+        self.inner.mark(label, round)
+    }
 }
 
 #[cfg(test)]

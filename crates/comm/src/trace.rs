@@ -45,6 +45,14 @@ pub enum TraceOp {
         /// Bytes combined.
         bytes: u64,
     },
+    /// Round/phase boundary annotation emitted via [`Comm::mark`]. Zero-cost
+    /// in replay; carried through so timelines can attribute ops to phases.
+    Mark {
+        /// Phase label (static: algorithm code marks with string literals).
+        label: &'static str,
+        /// 0-based round index within the phase.
+        round: u32,
+    },
 }
 
 /// The recorded program of a single rank.
@@ -211,6 +219,10 @@ impl Comm for TraceComm {
         self.ops.push(TraceOp::Compute {
             bytes: bytes as u64,
         });
+    }
+
+    fn mark(&mut self, label: &'static str, round: u32) {
+        self.ops.push(TraceOp::Mark { label, round });
     }
 }
 

@@ -116,6 +116,7 @@ pub fn allgather_ring_from<C: Comm>(
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
     for t in 0..p - 1 {
+        c.mark("ag-ring", t as u32);
         let send_idx = pmod(own_idx as isize - t as isize, p);
         let recv_idx = pmod(own_idx as isize - t as isize - 1, p);
         let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
@@ -165,10 +166,12 @@ pub fn allgather_kring<C: Comm>(
     let inter_left = ((grp + g - 1) % g) * k + j;
     let blk = |group: usize, member: usize| group * k + member;
 
+    let mut intra_round = 0u32;
     for b in 0..g {
         if b > 0 {
             // Inter-group round: the group's members collectively forward
             // the k blocks of group (grp - b + 1) to the next group.
+            c.mark("ag-kring-inter", b as u32 - 1);
             let send_idx = blk(pmod(grp as isize - b as isize + 1, g), j);
             let recv_idx = blk(pmod(grp as isize - b as isize, g), j);
             let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
@@ -185,6 +188,8 @@ pub fn allgather_kring<C: Comm>(
         // k-1 intra-group rounds circulate group (grp - b)'s blocks.
         let src_grp = pmod(grp as isize - b as isize, g);
         for t in 0..k.saturating_sub(1) {
+            c.mark("ag-kring-intra", intra_round);
+            intra_round += 1;
             let send_idx = blk(src_grp, pmod(j as isize - t as isize, k));
             let recv_idx = blk(src_grp, pmod(j as isize - t as isize - 1, k));
             let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
@@ -278,6 +283,7 @@ fn recmult_core<C: Comm>(
     out[off[me]..off[me] + myblock.len()].copy_from_slice(&myblock);
     let mut s = 1usize;
     for (round, &f) in factors.iter().enumerate() {
+        c.mark("ag-recmult", round as u32);
         let tag = tags::ALLGATHER_RECMULT + round as u32;
         let d = (me / s) % f;
         let base = me - d * s;
@@ -324,6 +330,7 @@ pub fn allgather_bruck<C: Comm>(c: &mut C, input: &[u8], sizes: &[usize]) -> Com
     let mut pow = 1usize;
     let mut round = 0u32;
     while pow < p {
+        c.mark("ag-bruck", round);
         let m = pow.min(p - pow);
         let send = rot[..m * n].to_vec();
         let dst = pmod(me as isize - pow as isize, p);

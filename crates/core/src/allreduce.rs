@@ -64,10 +64,12 @@ pub fn allreduce_recmult_mapped<C: Comm>(
     };
     // Fold: extras hand their vector to a partner and wait for the result.
     if gidx >= q {
+        c.mark("ar-fold", 0);
         c.send(map(gidx - q), tags::FOLD, acc)?;
         return c.recv(map(gidx - q), tags::FOLD, n);
     }
     if gidx + q < gsize {
+        c.mark("ar-fold", 0);
         let got = c.recv(map(gidx + q), tags::FOLD, n)?;
         reduce_into(dtype, op, &mut acc, &got)?;
         c.compute(n);
@@ -76,6 +78,7 @@ pub fn allreduce_recmult_mapped<C: Comm>(
     let factors = factorize(q, k).expect("q is k-smooth");
     let mut s = 1usize;
     for (round, &f) in factors.iter().enumerate() {
+        c.mark("ar-recmult", round as u32);
         let tag = tags::ALLREDUCE_RECMULT + round as u32;
         let d = (gidx / s) % f;
         let base = gidx - d * s;
@@ -140,10 +143,13 @@ pub fn allreduce_hierarchical<C: Comm>(
     let mut acc = input.to_vec();
     if me != leader {
         // Phase 1: contribute to the node leader; phase 3: await result.
+        c.mark("hier-reduce", 0);
         c.send(leader, tags::HIER_REDUCE, acc)?;
+        c.mark("hier-bcast", 0);
         return c.recv(leader, tags::HIER_BCAST, n);
     }
     // Leader: absorb the node's contributions in ascending rank order.
+    c.mark("hier-reduce", 0);
     let reqs: Vec<Req> = (leader + 1..leader + ppn)
         .map(|r| c.irecv(r, tags::HIER_REDUCE, n))
         .collect::<CommResult<_>>()?;
@@ -152,8 +158,10 @@ pub fn allreduce_hierarchical<C: Comm>(
         c.compute(n);
     }
     // Phase 2: recursive multiplying among the node leaders.
+    c.mark("hier-leaders", 0);
     acc = allreduce_recmult_mapped(c, k, nodes, me / ppn, |l| l * ppn, &acc, dtype, op)?;
     // Phase 3: flat intranode broadcast.
+    c.mark("hier-bcast", 0);
     let reqs: Vec<Req> = (leader + 1..leader + ppn)
         .map(|r| c.isend(r, tags::HIER_BCAST, acc.clone()))
         .collect::<CommResult<_>>()?;

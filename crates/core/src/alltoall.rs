@@ -46,6 +46,7 @@ pub fn alltoall_pairwise<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>
     let mut out = vec![0u8; p * n];
     out[me * n..(me + 1) * n].copy_from_slice(&input[me * n..(me + 1) * n]);
     for i in 1..p {
+        c.mark("a2a-pairwise", i as u32 - 1);
         let to = (me + i) % p;
         let from = pmod(me as isize - i as isize, p);
         let got = c.sendrecv(
@@ -120,6 +121,7 @@ pub fn alltoall_bruck<C: Comm>(c: &mut C, r: usize, input: &[u8]) -> CommResult<
             if indices.is_empty() {
                 continue;
             }
+            c.mark("a2a-bruck", round);
             let tag = TAG_BRUCK + round;
             let mut bundle = Vec::with_capacity(indices.len() * n);
             for &j in &indices {

@@ -27,6 +27,7 @@ pub fn barrier_dissemination<C: Comm>(c: &mut C, k: usize) -> CommResult<()> {
     let mut stride = 1usize;
     let mut round = 0u32;
     while stride < p {
+        c.mark("bar-dissem", round);
         let tag = BARRIER_TAG + round;
         let mut reqs: Vec<Req> = Vec::with_capacity(2 * (k - 1));
         for j in 1..k {

@@ -33,6 +33,9 @@ pub fn bcast_knomial<C: Comm>(
     }
     let t = KnomialTree::new(p, k);
     let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank receives its data (0 at the root).
+    c.mark("bc-knomial", (t.depth() - t.level(v)) as u32);
     let data = if v == 0 {
         input.expect("root provides data").to_vec()
     } else {
@@ -84,6 +87,7 @@ pub fn bcast_scatter_allgather<C: Comm>(
     if p == 1 {
         return Ok(input.expect("root provides data").to_vec());
     }
+    c.mark("bc-scatter", 0);
     let my_block = scatter_knomial(c, 2, root, input, n)?;
     let sizes: Vec<usize> = (0..p).map(|i| block_len(n, p, i)).collect();
     allgather::allgather_kernel(c, kernel, &my_block, &sizes)

@@ -25,6 +25,9 @@ pub fn gather_knomial<C: Comm>(
     }
     let t = KnomialTree::new(p, k);
     let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank's subtree payload arrives at its parent (0 at the root).
+    c.mark("gat-knomial", (t.depth() - t.level(v)) as u32);
     let span = t.subtree_size(v);
     // Buffer covering vranks [v, v + span), own block first.
     let mut buf = vec![0u8; span * n];

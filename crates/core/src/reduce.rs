@@ -34,6 +34,9 @@ pub fn reduce_knomial<C: Comm>(
     if p > 1 {
         let t = KnomialTree::new(p, k);
         let v = t.vrank(me, root);
+        // Round index = distance from the root's level: the tree round in
+        // which this rank forwards its partial upward (0 at the root).
+        c.mark("red-knomial", (t.depth() - t.level(v)) as u32);
         let mut children = t.children(v);
         // Post every child receive up front (message buffering), then fold
         // in ascending vrank order for determinism.

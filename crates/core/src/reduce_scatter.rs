@@ -61,6 +61,7 @@ pub fn reduce_scatter_ring<C: Comm>(
     let right = (me + 1) % p;
     let mut acc = input.to_vec();
     for t in 0..p - 1 {
+        c.mark("rs-ring", t as u32);
         let send_idx = pmod(me as isize + t as isize + 1, p);
         let recv_idx = pmod(me as isize + t as isize + 2, p);
         let (ss, se) = range(send_idx);
@@ -113,6 +114,7 @@ pub fn reduce_scatter_recmult<C: Comm>(
     // Active block segment [lo, lo + span): the aligned window holding me.
     let mut span = p;
     for (round, &f) in factors.iter().enumerate() {
+        c.mark("rs-recmult", round as u32);
         let tag = tags::REDUCE_SCATTER_RECMULT + round as u32;
         let lo = me / span * span;
         let sub = span / f;

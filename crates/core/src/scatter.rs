@@ -28,6 +28,9 @@ pub fn scatter_knomial<C: Comm>(
     }
     let t = KnomialTree::new(p, k);
     let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank receives its subtree's slice (0 at the root).
+    c.mark("sc-knomial", (t.depth() - t.level(v)) as u32);
     // Size of the block belonging to virtual rank x.
     let vsize = |x: usize| block_len(n, p, t.unvrank(x, root));
     // Byte length of the contiguous vrank span [a, b).

@@ -27,6 +27,14 @@ pub fn allreduce_round(net: &NetParams, n: usize, k: usize) -> f64 {
     net.alpha + (net.beta + net.gamma) * (k - 1) as f64 * n as f64
 }
 
+/// Eq. (7) generalized to a non-uniform factor schedule: the allgather round
+/// that multiplies group size by `f` when each rank already holds `cur`
+/// blocks of `n/p` bytes costs `α + β·n·(f-1)·cur/p`. A uniform schedule
+/// (`f = k`, `cur = k^(i-1)`) recovers [`allgather_round`].
+pub fn allgather_round_general(net: &NetParams, n: usize, p: usize, f: usize, cur: usize) -> f64 {
+    net.alpha + net.beta * n as f64 * (f - 1) as f64 * cur as f64 / p as f64
+}
+
 /// Recursive doubling (Eq. 4–5) is the `k = 2` instance.
 pub mod doubling {
     use crate::NetParams;
@@ -105,6 +113,17 @@ mod tests {
         };
         let n = 1 << 20;
         assert_eq!(allgather(&net, n, 64, 2), allgather(&net, n, 64, 8));
+    }
+
+    #[test]
+    fn general_round_matches_uniform_schedule() {
+        let net = net();
+        let (n, p, k) = (1 << 14, 64usize, 4usize);
+        for i in 1..=3usize {
+            let uniform = allgather_round(&net, n, p, k, i);
+            let general = allgather_round_general(&net, n, p, k, k.pow(i as u32 - 1));
+            assert!((uniform - general).abs() < 1e-9);
+        }
     }
 
     #[test]

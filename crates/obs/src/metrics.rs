@@ -1,0 +1,291 @@
+//! Metrics registry: named counters and log₂-bucketed histograms,
+//! snapshotable to JSON and restorable from it.
+//!
+//! Keys follow the scheme `collective/algorithm/size/metric` so a snapshot
+//! taken across a sweep groups naturally per (collective × algorithm ×
+//! message size). Keys are free-form strings though — nothing enforces the
+//! scheme, and ad-hoc counters are fine.
+
+use crate::timeline::{EventKind, RankTimeline};
+use exacoll_json::Value;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: values up to 2⁶² land in their own bucket,
+/// anything larger clamps into the last.
+pub const BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram of non-negative observations.
+///
+/// Bucket 0 holds values in `[0, 1)`; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`;
+/// the final bucket additionally absorbs everything past its upper edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub counts: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation (`None` until the first observe).
+    pub min: Option<f64>,
+    /// Largest observation.
+    pub max: Option<f64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+}
+
+/// Bucket index a value lands in.
+pub fn bucket_of(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        // negatives and NaN clamp into bucket 0 alongside [0, 1)
+        return 0;
+    }
+    let exp = v.log2().floor() as usize + 1;
+    exp.min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.counts[bucket_of(v)] += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum / c as f64
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name`, creating it at zero.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_default() += by;
+    }
+
+    /// Record `v` into histogram `name`, creating it empty.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.hists.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Fold a recorded run into the registry under
+    /// `scope = "collective/algorithm/size/backend"`.
+    pub fn record_timelines(&mut self, scope: &str, timelines: &[RankTimeline]) {
+        self.incr(&format!("{scope}/runs"), 1);
+        for tl in timelines {
+            for e in &tl.events {
+                match e.kind {
+                    EventKind::Send => {
+                        self.incr(&format!("{scope}/sends"), 1);
+                        self.incr(&format!("{scope}/bytes_sent"), e.bytes);
+                        self.observe(&format!("{scope}/send_bytes"), e.bytes as f64);
+                    }
+                    EventKind::Wait => {
+                        self.observe(&format!("{scope}/wait_ns"), e.span_ns());
+                    }
+                    EventKind::Compute => {
+                        self.incr(&format!("{scope}/compute_bytes"), e.bytes);
+                    }
+                    EventKind::Recv | EventKind::Mark => {}
+                }
+            }
+        }
+        self.observe(
+            &format!("{scope}/latency_ns"),
+            crate::timeline::makespan_ns(timelines),
+        );
+    }
+
+    /// Snapshot to JSON. Exact round-trip with [`Metrics::from_json`]:
+    /// counters and bucket counts are integers, and float fields print with
+    /// shortest-round-trip formatting.
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+            .collect();
+        let hists: Vec<(String, Value)> = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let counts: Vec<Value> = h.counts.iter().map(|&c| Value::Num(c as f64)).collect();
+                (
+                    k.clone(),
+                    Value::obj(vec![
+                        ("counts", Value::Arr(counts)),
+                        ("sum", Value::Num(h.sum)),
+                        ("min", h.min.map_or(Value::Null, Value::Num)),
+                        ("max", h.max.map_or(Value::Null, Value::Num)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::obj(vec![
+            ("counters", Value::Obj(counters)),
+            ("histograms", Value::Obj(hists)),
+        ])
+    }
+
+    /// Restore a registry from a [`Metrics::to_json`] snapshot.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let mut m = Metrics::new();
+        if let Value::Obj(pairs) = v.req("counters")? {
+            for (k, n) in pairs {
+                let n = n.as_f64().map_err(|e| format!("counter {k}: {e}"))?;
+                m.counters.insert(k.clone(), n as u64);
+            }
+        } else {
+            return Err("counters: expected object".into());
+        }
+        if let Value::Obj(pairs) = v.req("histograms")? {
+            for (k, hv) in pairs {
+                let arr = hv
+                    .req("counts")?
+                    .as_arr()
+                    .map_err(|e| format!("histogram {k}: counts: {e}"))?;
+                if arr.len() != BUCKETS {
+                    return Err(format!("histogram {k}: expected {BUCKETS} buckets"));
+                }
+                let mut h = Histogram::default();
+                for (i, c) in arr.iter().enumerate() {
+                    h.counts[i] = c
+                        .as_f64()
+                        .map_err(|e| format!("histogram {k}: bucket {i}: {e}"))?
+                        as u64;
+                }
+                h.sum = hv
+                    .req("sum")?
+                    .as_f64()
+                    .map_err(|e| format!("histogram {k}: sum: {e}"))?;
+                let field = |name: &str| -> Result<Option<f64>, String> {
+                    let fv = hv.req(name)?;
+                    if fv.is_null() {
+                        Ok(None)
+                    } else {
+                        fv.as_f64()
+                            .map(Some)
+                            .map_err(|e| format!("histogram {k}: {name}: {e}"))
+                    }
+                };
+                h.min = field("min")?;
+                h.max = field("max")?;
+                m.hists.insert(k.clone(), h);
+            }
+        } else {
+            return Err("histograms: expected object".into());
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.99), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.99), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(3.0), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(1024.0), 11);
+        assert_eq!(bucket_of(f64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(-5.0), 0);
+    }
+
+    #[test]
+    fn histogram_counts_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 2.0, 2.5, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min, Some(0.5));
+        assert_eq!(h.max, Some(100.0));
+        assert!((h.sum - 106.0).abs() < 1e-12);
+        assert_eq!(h.counts[0], 1); // 0.5
+        assert_eq!(h.counts[1], 1); // 1.0
+        assert_eq!(h.counts[2], 2); // 2.0, 2.5
+        assert_eq!(h.counts[7], 1); // 100 in [64, 128)
+    }
+
+    #[test]
+    fn json_round_trip_exact() {
+        let mut m = Metrics::new();
+        m.incr("allreduce/ring/1024/runs", 3);
+        m.incr("allreduce/ring/1024/bytes_sent", 123456789);
+        for v in [1.0, 17.0, 4096.5, 0.25] {
+            m.observe("allreduce/ring/1024/latency_ns", v);
+        }
+        let j = m.to_json();
+        let text = j.pretty();
+        let back = Metrics::from_json(&exacoll_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let m = Metrics::new();
+        let back =
+            Metrics::from_json(&exacoll_json::parse(&m.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Metrics::from_json(&Value::obj(vec![])).is_err());
+        let bad = Value::obj(vec![
+            ("counters", Value::obj(vec![])),
+            (
+                "histograms",
+                Value::obj(vec![(
+                    "h",
+                    Value::obj(vec![
+                        ("counts", Value::Arr(vec![Value::Num(1.0); 3])),
+                        ("sum", Value::Num(1.0)),
+                        ("min", Value::Null),
+                        ("max", Value::Null),
+                    ]),
+                )]),
+            ),
+        ]);
+        assert!(Metrics::from_json(&bad).is_err());
+    }
+}

@@ -36,7 +36,8 @@ pub use fault::{DeadLink, LinkDegradation, SimFaults, Straggler};
 pub use machine::{CpuParams, IntranodeParams, LinkParams, Machine, PortAssignment, Topology};
 pub use noise::NoiseModel;
 pub use replay::{
-    simulate, simulate_faulty, simulate_noisy, BlockedRank, PendingOp, ReplayError, SimOutcome,
+    simulate, simulate_faulty, simulate_noisy, simulate_timed, BlockedRank, OpTiming, PendingOp,
+    ReplayError, SimOutcome,
 };
 pub use stats::{RankBreakdown, SimStats};
 pub use time::SimTime;

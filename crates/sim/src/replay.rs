@@ -149,6 +149,29 @@ pub struct SimOutcome {
     pub breakdown: Vec<RankBreakdown>,
 }
 
+/// Virtual-time span of one trace op, as recorded by [`simulate_timed`].
+///
+/// `begin..end` is the op's *active* window on the rank (posting a
+/// send/receive, blocking in a wait, computing); `done` is when the op's
+/// effect completed: eager sends at the post, rendezvous sends at delivery,
+/// receives when the matching message arrived (possibly long after `end`).
+/// For waits, computes and marks `done == end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpTiming {
+    /// When the rank started executing the op.
+    pub begin: SimTime,
+    /// When the rank moved past the op.
+    pub end: SimTime,
+    /// When the op's effect completed (see type docs).
+    pub done: SimTime,
+}
+
+/// Per-op begin/end stamps, allocated only for timed replays.
+struct OpClocks {
+    begin: Vec<Vec<Option<SimTime>>>,
+    end: Vec<Vec<Option<SimTime>>>,
+}
+
 /// A message posted but not yet matched by a receive.
 struct PendingSend {
     arrival: SimTime,
@@ -187,6 +210,7 @@ struct Engine<'a> {
     recvs: HashMap<MatchKey, VecDeque<PendingRecv>>,
     events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
     seq: u64,
+    clocks: Option<OpClocks>,
 }
 
 impl<'a> Engine<'a> {
@@ -215,6 +239,42 @@ impl<'a> Engine<'a> {
             recvs: HashMap::new(),
             events: BinaryHeap::new(),
             seq: 0,
+            clocks: None,
+        }
+    }
+
+    /// Enable per-op begin/end recording (timed replay).
+    fn with_clocks(mut self) -> Self {
+        self.clocks = Some(OpClocks {
+            begin: self
+                .traces
+                .iter()
+                .map(|t| vec![None; t.ops.len()])
+                .collect(),
+            end: self
+                .traces
+                .iter()
+                .map(|t| vec![None; t.ops.len()])
+                .collect(),
+        });
+        self
+    }
+
+    /// Stamp when `(rank, op)` first started executing. Idempotent: parked
+    /// waits and buffer-stalled sends re-step, but the first stamp wins.
+    fn stamp_begin(&mut self, rank: usize, op: usize, t: SimTime) {
+        if let Some(c) = &mut self.clocks {
+            let slot = &mut c.begin[rank][op];
+            if slot.is_none() {
+                *slot = Some(t);
+            }
+        }
+    }
+
+    /// Stamp when the rank moved past `(rank, op)`.
+    fn stamp_end(&mut self, rank: usize, op: usize, t: SimTime) {
+        if let Some(c) = &mut self.clocks {
+            c.end[rank][op] = Some(t);
         }
     }
 
@@ -317,10 +377,12 @@ impl<'a> Engine<'a> {
                     self.push_event(self.now[rank].max(earliest), rank);
                     return;
                 }
+                self.stamp_begin(rank, pc, self.now[rank]);
                 let o_send = SimTime::ns(self.machine.cpu.o_send_ns * self.overhead_factor(rank));
                 self.now[rank] += o_send;
                 self.posting[rank] += o_send;
                 let post = self.now[rank];
+                self.stamp_end(rank, pc, post);
                 if self.link_is_dead(rank, *to) {
                     // The message vanishes: never delivered, never matched.
                     // An eager send still completes locally at the post; a
@@ -359,10 +421,12 @@ impl<'a> Engine<'a> {
                 self.push_event(self.now[rank], rank);
             }
             TraceOp::Recv { from, tag, .. } => {
+                self.stamp_begin(rank, pc, self.now[rank]);
                 let o_recv = SimTime::ns(self.machine.cpu.o_recv_ns * self.overhead_factor(rank));
                 self.now[rank] += o_recv;
                 self.posting[rank] += o_recv;
                 let posted = self.now[rank];
+                self.stamp_end(rank, pc, posted);
                 let key: MatchKey = (*from, rank, *tag);
                 if let Some(ps) = self.sends.get_mut(&key).and_then(VecDeque::pop_front) {
                     self.complete(rank, pc, ps.arrival.max(posted));
@@ -377,6 +441,7 @@ impl<'a> Engine<'a> {
                 self.push_event(self.now[rank], rank);
             }
             TraceOp::Compute { bytes } => {
+                self.stamp_begin(rank, pc, self.now[rank]);
                 let cost = SimTime::ns(
                     self.machine.cpu.compute_fixed_ns
                         + *bytes as f64 * self.machine.cpu.gamma_ns_per_byte,
@@ -384,10 +449,12 @@ impl<'a> Engine<'a> {
                 self.now[rank] += cost;
                 self.computing[rank] += cost;
                 self.stats.compute_bytes += bytes;
+                self.stamp_end(rank, pc, self.now[rank]);
                 self.pc[rank] += 1;
                 self.push_event(self.now[rank], rank);
             }
             TraceOp::WaitAll { reqs } => {
+                self.stamp_begin(rank, pc, self.now[rank]);
                 let missing: Vec<u32> = reqs
                     .iter()
                     .filter(|&&r| self.completion[rank][r as usize].is_none())
@@ -400,12 +467,21 @@ impl<'a> Engine<'a> {
                         .max()
                         .unwrap_or(self.now[rank]);
                     self.now[rank] = self.now[rank].max(latest);
+                    self.stamp_end(rank, pc, self.now[rank]);
                     self.pc[rank] += 1;
                     self.push_event(self.now[rank], rank);
                 } else {
                     self.waiting_on[rank] = missing;
                     // Parked: the completing send will wake us.
                 }
+            }
+            TraceOp::Mark { .. } => {
+                // Zero-cost annotation: an instant on the rank's clock.
+                self.stamp_begin(rank, pc, self.now[rank]);
+                self.stamp_end(rank, pc, self.now[rank]);
+                self.complete(rank, pc, self.now[rank]);
+                self.pc[rank] += 1;
+                self.push_event(self.now[rank], rank);
             }
         }
     }
@@ -437,7 +513,7 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    fn run(mut self) -> Result<SimOutcome, ReplayError> {
+    fn run_core(&mut self) -> Result<SimOutcome, ReplayError> {
         for r in 0..self.traces.len() {
             self.push_event(SimTime::ZERO, r);
         }
@@ -473,9 +549,43 @@ impl<'a> Engine<'a> {
         Ok(SimOutcome {
             finish,
             makespan,
-            stats: self.stats,
+            stats: self.stats.clone(),
             breakdown,
         })
+    }
+
+    fn run(mut self) -> Result<SimOutcome, ReplayError> {
+        self.run_core()
+    }
+
+    /// Run with per-op clocks, returning each op's [`OpTiming`] alongside
+    /// the outcome. On a successful (deadlock-free) replay every op has
+    /// begin/end stamps; `done` falls back to `end` for ops without a
+    /// separate completion (waits, computes, marks).
+    fn run_timed(mut self) -> Result<(SimOutcome, Vec<Vec<OpTiming>>), ReplayError> {
+        self = self.with_clocks();
+        let outcome = self.run_core()?;
+        let clocks = self.clocks.expect("enabled above");
+        let timings = self
+            .completion
+            .iter()
+            .zip(clocks.begin.iter().zip(clocks.end.iter()))
+            .map(|(comp, (begins, ends))| {
+                comp.iter()
+                    .zip(begins.iter().zip(ends.iter()))
+                    .map(|(done, (b, e))| {
+                        let begin = b.expect("successful replay stamps every op");
+                        let end = e.expect("successful replay stamps every op");
+                        OpTiming {
+                            begin,
+                            end,
+                            done: done.unwrap_or(end).max(end),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok((outcome, timings))
     }
 }
 
@@ -494,6 +604,26 @@ pub fn simulate(machine: &Machine, traces: &[RankTrace]) -> Result<SimOutcome, R
         });
     }
     Engine::new(machine, traces, None, None).run()
+}
+
+/// Like [`simulate`] but additionally returns, for every rank, the
+/// [`OpTiming`] of each trace op in program order — the virtual-clock raw
+/// material for event timelines (`exacoll-obs`).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_timed(
+    machine: &Machine,
+    traces: &[RankTrace],
+) -> Result<(SimOutcome, Vec<Vec<OpTiming>>), ReplayError> {
+    if traces.len() != machine.ranks() {
+        return Err(ReplayError::RankMismatch {
+            machine_ranks: machine.ranks(),
+            traces: traces.len(),
+        });
+    }
+    Engine::new(machine, traces, None, None).run_timed()
 }
 
 /// Like [`simulate`] but with a seeded run-to-run variance model.
@@ -724,6 +854,63 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.finish, b.finish);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn timed_replay_matches_untimed() {
+        let traces = record_traces(8, |c| {
+            let peer = c.rank() ^ 1;
+            let got = c.sendrecv(peer, 0, vec![0u8; 4096], peer, 0, 4096)?;
+            c.compute(got.len());
+            Ok(())
+        });
+        let m = Machine::frontier(8, 1);
+        let base = simulate(&m, &traces).unwrap();
+        let (timed, spans) = simulate_timed(&m, &traces).unwrap();
+        assert_eq!(base.makespan, timed.makespan);
+        assert_eq!(base.finish, timed.finish);
+        for (rank, t) in traces.iter().enumerate() {
+            assert_eq!(spans[rank].len(), t.ops.len());
+            for s in &spans[rank] {
+                assert!(s.begin <= s.end && s.end <= s.done);
+            }
+            // Active windows follow program order on each rank.
+            for w in spans[rank].windows(2) {
+                assert!(w[0].end <= w[1].begin, "rank {rank}: spans out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn marks_cost_nothing_in_replay() {
+        let plain = one_message(4096);
+        let marked = record_traces(2, |c| {
+            c.mark("phase", 0);
+            if c.rank() == 0 {
+                c.send(1, 0, vec![0u8; 4096])?;
+            } else {
+                c.mark("phase", 1);
+                let _ = c.recv(0, 0, 4096)?;
+            }
+            c.mark("phase", 2);
+            Ok(())
+        });
+        let m = Machine::frontier(2, 1);
+        let a = simulate(&m, &plain).unwrap();
+        let b = simulate(&m, &marked).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish, b.finish);
+    }
+
+    #[test]
+    fn rendezvous_send_done_is_delivery_not_post() {
+        let mut m = Machine::testbed(2, 1, 1);
+        m.rendezvous_threshold = 1024;
+        let (_, spans) = simulate_timed(&m, &one_message(4096)).unwrap();
+        let send = spans[0][0];
+        // Post is instant (zero overheads on testbed); delivery pays α + nβ.
+        assert!(send.done.as_nanos() >= 1_000.0 + 4096.0);
+        assert!(send.end < send.done);
     }
 
     #[test]

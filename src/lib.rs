@@ -16,6 +16,11 @@
 //! * [`osu`] — OSU-style microbenchmark harness and vendor baseline policy.
 //! * [`chaos`] — fault-injection campaign runner exercising the runtime's
 //!   hang-free guarantee (drop/delay/duplicate/corrupt/kill).
+//! * [`obs`] — observability: timed event timelines on both backends,
+//!   metrics registry, Chrome-trace export, critical-path extraction, and
+//!   model-vs-measured residual analysis.
+//! * [`json`] — the dependency-free JSON layer the snapshots and exporters
+//!   serialize through.
 //!
 //! ## Quickstart
 //!
@@ -41,7 +46,9 @@
 pub use exacoll_chaos as chaos;
 pub use exacoll_comm as comm;
 pub use exacoll_core as collectives;
+pub use exacoll_json as json;
 pub use exacoll_models as models;
+pub use exacoll_obs as obs;
 pub use exacoll_osu as osu;
 pub use exacoll_sim as sim;
 pub use exacoll_tuning as tuning;
