@@ -1,0 +1,8 @@
+//! `cargo bench --bench backends` — thread vs tcp transport latency.
+fn main() {
+    let (tables, json) = exacoll_bench::backends::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("backends", &tables);
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/backends.json", json.pretty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Thread vs TCP backend latency: what the wire costs.
+//!
+//! Both backends run the same allreduce recursive-multiplying kernel with
+//! identical inputs; the only variable is the transport — shared-memory
+//! channels in one process vs real TCP sockets over loopback (the
+//! in-process socket harness, so the comparison isolates transport cost
+//! from process-spawn overhead). Per size: every rank times each
+//! repetition between dissemination barriers; the latency is the min over
+//! repetitions of the max over ranks (the makespan of the best rep).
+
+use exacoll_comm::{run_ranks, Comm, CommResult};
+use exacoll_core::{execute, Algorithm, CollArgs, CollectiveOp};
+use exacoll_json::Value;
+use exacoll_net::run_socket_ranks;
+use exacoll_obs::payload;
+use exacoll_osu::sweep::fmt_size;
+use exacoll_osu::Table;
+use std::time::Instant;
+
+/// One rank's body: time `reps` barrier-separated executions.
+fn timed_reps<C: Comm>(
+    c: &mut C,
+    args: &CollArgs,
+    input: &[u8],
+    reps: usize,
+) -> CommResult<Vec<f64>> {
+    let barrier = CollArgs::new(CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 });
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        execute(c, &barrier, &[])?;
+        let t0 = Instant::now();
+        execute(c, args, input)?;
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    Ok(times)
+}
+
+/// Min over reps of max over ranks, in nanoseconds.
+fn makespan_best(per_rank: &[Vec<f64>], reps: usize) -> f64 {
+    (0..reps)
+        .map(|rep| {
+            per_rank
+                .iter()
+                .map(|times| times[rep])
+                .fold(0.0f64, f64::max)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn measure(p: usize, size: usize, reps: usize, socket: bool) -> f64 {
+    let args = CollArgs::new(
+        CollectiveOp::Allreduce,
+        Algorithm::RecursiveMultiplying { k: 4 },
+    );
+    let per_rank = if socket {
+        run_socket_ranks(p, |c| {
+            let input = payload(c.rank(), size);
+            timed_reps(c, &args, &input, reps)
+        })
+    } else {
+        run_ranks(p, |c| {
+            let input = payload(c.rank(), size);
+            timed_reps(c, &args, &input, reps)
+        })
+    };
+    makespan_best(&per_rank, reps)
+}
+
+/// Latency table plus the rows for `results/backends.json`.
+pub fn run(quick: bool) -> (Vec<Table>, Value) {
+    let p = if quick { 4 } else { 16 };
+    let reps = if quick { 2 } else { 5 };
+    let sizes: &[usize] = if quick {
+        &[64, 4 << 10]
+    } else {
+        &[64, 1 << 10, 16 << 10, 256 << 10]
+    };
+    let mut t = Table::new(
+        format!("allreduce recmult(4) thread vs tcp, p={p} (us, best of {reps})"),
+        &["size", "thread", "tcp", "tcp/thread"],
+    );
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let thread_ns = measure(p, size, reps, false);
+        let tcp_ns = measure(p, size, reps, true);
+        t.row(vec![
+            fmt_size(size),
+            format!("{:.2}", thread_ns / 1e3),
+            format!("{:.2}", tcp_ns / 1e3),
+            format!("{:.2}x", tcp_ns / thread_ns),
+        ]);
+        rows.push(Value::obj(vec![
+            ("op", Value::Str("allreduce".into())),
+            ("alg", Value::Str("recmult:4".into())),
+            ("ranks", Value::Num(p as f64)),
+            ("size", Value::Num(size as f64)),
+            ("thread_us", Value::Num(thread_ns / 1e3)),
+            ("tcp_us", Value::Num(tcp_ns / 1e3)),
+        ]));
+    }
+    (vec![t], Value::Arr(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows_for_both_backends() {
+        let (tables, json) = run(true);
+        assert_eq!(tables.len(), 1);
+        let rows = json.as_arr().expect("array of rows");
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.req("thread_us").unwrap().as_f64().unwrap() > 0.0);
+            assert!(row.req("tcp_us").unwrap().as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn makespan_best_is_min_over_reps_of_max_over_ranks() {
+        let per_rank = vec![vec![10.0, 50.0], vec![30.0, 20.0]];
+        // rep 0 makespan = 30, rep 1 makespan = 50 → best = 30.
+        assert_eq!(makespan_best(&per_rank, 2), 30.0);
+    }
+}

@@ -17,10 +17,12 @@
 //! | `selection`| §VI-G — autotuned selection configuration                   |
 //! | `models`   | Eqs. 1–14 — analytical model vs simulator                   |
 //! | `residuals`| per-round measured-vs-model deltas from recorded timelines  |
+//! | `backends` | thread vs tcp transport latency for allreduce recmult       |
 //! | `micro`    | criterion micro-benchmarks of the library itself            |
 
 pub mod ablation;
 pub mod alltoall_ext;
+pub mod backends;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 pub struct Args {
     /// The subcommand word.
     pub command: String,
-    /// The bare operand right after the subcommand, if any.
+    /// The single bare operand, if any.
     positional: Option<String>,
     flags: HashMap<String, String>,
 }
@@ -24,25 +24,31 @@ impl Args {
             .ok_or_else(|| "missing subcommand".to_string())?
             .clone();
         let mut flags = HashMap::new();
+        let mut positional: Option<String> = None;
         let mut i = 1;
-        // At most one bare operand, and only directly after the subcommand;
-        // any later bare token is still a parse error.
-        let positional = match argv.get(1) {
-            Some(word) if !word.starts_with("--") => {
-                i = 2;
-                Some(word.clone())
-            }
-            _ => None,
-        };
         while i < argv.len() {
-            let key = argv[i]
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got `{}`", argv[i]))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            flags.insert(key.to_string(), value.clone());
-            i += 2;
+            let word = &argv[i];
+            match word.strip_prefix("--") {
+                Some(key) => {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    flags.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                // At most one bare operand, anywhere among the flags
+                // (`launch --ranks 8 allreduce` ≡ `launch allreduce
+                // --ranks 8`); a second bare token is a parse error.
+                None => {
+                    if let Some(first) = &positional {
+                        return Err(format!(
+                            "unexpected operand `{word}` (already have `{first}`)"
+                        ));
+                    }
+                    positional = Some(word.clone());
+                    i += 1;
+                }
+            }
         }
         Ok(Args {
             command,
@@ -51,7 +57,7 @@ impl Args {
         })
     }
 
-    /// The bare operand right after the subcommand, if any.
+    /// The single bare operand, if any.
     pub fn positional(&self) -> Option<&str> {
         self.positional.as_deref()
     }
@@ -188,6 +194,54 @@ pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
     Ok(alg)
 }
 
+/// Execution backend selected by `--backend`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process threaded runtime (real data, shared memory).
+    Thread,
+    /// Discrete-event simulator (virtual α-β-γ time).
+    Sim,
+    /// Multi-process TCP runtime (real data, real sockets).
+    Tcp,
+    /// Thread and sim together, for side-by-side comparison.
+    Both,
+}
+
+/// The accepted `--backend` values, for error messages.
+pub const BACKEND_NAMES: &str = "thread|sim|tcp|both";
+
+/// Parse a `--backend` value.
+pub fn parse_backend(name: &str) -> Result<Backend, String> {
+    match name {
+        "thread" => Ok(Backend::Thread),
+        "sim" => Ok(Backend::Sim),
+        "tcp" => Ok(Backend::Tcp),
+        "both" => Ok(Backend::Both),
+        other => Err(format!(
+            "unknown backend `{other}` (expected {BACKEND_NAMES})"
+        )),
+    }
+}
+
+/// Re-serialize an algorithm into the spec grammar [`parse_alg`] accepts.
+/// `Display` renders `recmult(4)` for humans; argv handed to worker
+/// processes needs the parseable `recmult:4` form instead.
+pub fn alg_to_spec(alg: &Algorithm) -> String {
+    match alg {
+        Algorithm::Linear => "linear".into(),
+        Algorithm::Ring => "ring".into(),
+        Algorithm::Bruck => "bruck".into(),
+        Algorithm::Pairwise => "pairwise".into(),
+        Algorithm::KnomialTree { k } => format!("knomial:{k}"),
+        Algorithm::RecursiveMultiplying { k } => format!("recmult:{k}"),
+        Algorithm::KRing { k } => format!("kring:{k}"),
+        Algorithm::ReduceBcast { k } => format!("reduce+bcast:{k}"),
+        Algorithm::Dissemination { k } => format!("dissemination:{k}"),
+        Algorithm::GeneralizedBruck { r } => format!("gbruck:{r}"),
+        Algorithm::Hierarchical { ppn, k } => format!("hier:{ppn}:{k}"),
+    }
+}
+
 /// Parse "8", "64K", "64KB", "4M", "4MB".
 pub fn parse_size(s: &str) -> Option<usize> {
     let lower = s.to_ascii_lowercase();
@@ -295,10 +349,50 @@ mod tests {
         assert_eq!(a.command, "profile");
         assert_eq!(a.positional(), Some("allreduce"));
         assert_eq!(a.req_usize("ranks").unwrap(), 16);
-        // Only the slot right after the subcommand is positional.
+        // A second bare token is still an error.
         assert!(Args::parse(&argv("profile allreduce bcast")).is_err());
         let b = Args::parse(&argv("machines")).unwrap();
         assert_eq!(b.positional(), None);
+    }
+
+    #[test]
+    fn positional_operand_after_flags() {
+        // The acceptance-grammar form: operand after the flags.
+        let a = Args::parse(&argv("launch --ranks 8 --backend tcp allreduce --size 64K")).unwrap();
+        assert_eq!(a.command, "launch");
+        assert_eq!(a.positional(), Some("allreduce"));
+        assert_eq!(a.req("backend").unwrap(), "tcp");
+        assert_eq!(a.req_usize("ranks").unwrap(), 8);
+    }
+
+    #[test]
+    fn backends_parse_and_unknowns_list_accepted_values() {
+        assert_eq!(parse_backend("thread").unwrap(), Backend::Thread);
+        assert_eq!(parse_backend("sim").unwrap(), Backend::Sim);
+        assert_eq!(parse_backend("tcp").unwrap(), Backend::Tcp);
+        assert_eq!(parse_backend("both").unwrap(), Backend::Both);
+        let err = parse_backend("udp").unwrap_err();
+        assert!(err.contains("thread|sim|tcp|both"), "got: {err}");
+    }
+
+    #[test]
+    fn alg_specs_round_trip() {
+        let algs = [
+            Algorithm::Linear,
+            Algorithm::Ring,
+            Algorithm::Bruck,
+            Algorithm::Pairwise,
+            Algorithm::KnomialTree { k: 8 },
+            Algorithm::RecursiveMultiplying { k: 4 },
+            Algorithm::KRing { k: 3 },
+            Algorithm::ReduceBcast { k: 5 },
+            Algorithm::Dissemination { k: 2 },
+            Algorithm::GeneralizedBruck { r: 3 },
+            Algorithm::Hierarchical { ppn: 8, k: 4 },
+        ];
+        for alg in algs {
+            assert_eq!(parse_alg(&alg_to_spec(&alg)).unwrap(), alg);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::{parse_alg, Args};
+use crate::args::{parse_alg, parse_backend, Args, Backend};
 use exacoll_core::{registry::candidates, registry::table_i, CollectiveOp};
 use exacoll_obs::{
     analyze_residuals, chrome_trace, intra_net_of, net_of, profile_sim, profile_thread,
@@ -18,7 +18,9 @@ pub const USAGE: &str = "usage:
   exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
   exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N]
   exacoll profile  <coll> --alg <alg[:k]> --ranks P [--ppn N] [--machine <name>] [--size BYTES]
-                   [--backend thread|sim|both] [--chrome FILE] [--metrics FILE]
+                   [--backend thread|sim|tcp|both] [--chrome FILE] [--metrics FILE]
+  exacoll launch   <coll> --alg <alg[:k]> --ranks P [--size BYTES] [--backend tcp]
+                   [--timeout SECS] [--chrome FILE] [--spawn N] [--bind HOST:PORT]
   exacoll machines
   exacoll table1
 
@@ -37,6 +39,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "autotune" => run_autotune(&args),
         "chaos" => chaos(&args),
         "profile" => profile(&args),
+        "launch" => crate::launch::run(&args),
         "machines" => machines(),
         "table1" => {
             table1();
@@ -194,15 +197,11 @@ fn profile(args: &Args) -> Result<(), String> {
         size,
     };
 
-    let runs: Vec<BackendRun> = match args.opt("backend").unwrap_or("both") {
-        "sim" => vec![profile_sim(&spec)?],
-        "thread" => vec![profile_thread(&spec)?],
-        "both" => vec![profile_thread(&spec)?, profile_sim(&spec)?],
-        other => {
-            return Err(format!(
-                "unknown backend `{other}` (expected thread|sim|both)"
-            ))
-        }
+    let runs: Vec<BackendRun> = match parse_backend(args.opt("backend").unwrap_or("both"))? {
+        Backend::Sim => vec![profile_sim(&spec)?],
+        Backend::Thread => vec![profile_thread(&spec)?],
+        Backend::Tcp => vec![crate::launch::profile_tcp(&spec)?],
+        Backend::Both => vec![profile_thread(&spec)?, profile_sim(&spec)?],
     };
 
     println!(

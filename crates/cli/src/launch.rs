@@ -1,0 +1,523 @@
+//! `exacoll launch` — multi-process execution on the TCP backend.
+//!
+//! The launcher hosts the rendezvous listener, forks one worker **process**
+//! per rank (re-invoking its own binary with `EXACOLL_RANK`/`EXACOLL_ROOT`
+//! in the environment), and waits for all of them under a hard timeout so a
+//! matching-logic deadlock fails the job instead of hanging it. Each worker
+//! joins the socket world, runs the chosen collective under a [`TimedComm`],
+//! verifies its own output against the sequential reference (inputs are the
+//! deterministic [`exacoll_obs::payload`] pattern, so every process can
+//! reconstruct all inputs without any data exchange), and exits non-zero on
+//! any mismatch.
+//!
+//! `--spawn N` launches only ranks `0..N` locally and prints the
+//! environment for the rest, so the remaining workers can be started by
+//! hand on other hosts (`--bind` must then name an external interface).
+//!
+//! With `--chrome FILE`, workers additionally dump their timelines as JSON
+//! (via `EXACOLL_TIMELINE`); the launcher merges them into one Chrome trace
+//! with one track per rank.
+
+use crate::args::{alg_to_spec, parse_alg, parse_backend, parse_size, Args, Backend};
+use exacoll_core::reference::expected_outputs;
+use exacoll_core::{execute, Algorithm, CollArgs, CollectiveOp};
+use exacoll_net::{serve_rendezvous, SocketComm, SocketOptions};
+use exacoll_obs::{
+    chrome_trace, makespan_ns, payload, rank_tracks, timeline_from_json, timeline_to_json,
+    BackendRun, ProfileSpec, RankTimeline, TimedComm,
+};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What to run: one collective × algorithm × world size × message size,
+/// bounded by a wall-clock timeout.
+#[derive(Debug, Clone)]
+struct LaunchSpec {
+    op: CollectiveOp,
+    alg: Algorithm,
+    ranks: usize,
+    size: usize,
+    timeout: Duration,
+}
+
+impl LaunchSpec {
+    fn from_args(args: &Args) -> Result<LaunchSpec, String> {
+        let op = match args.positional() {
+            Some(name) => crate::args::parse_op(name)?,
+            None => args.op()?,
+        };
+        let alg = parse_alg(args.req("alg")?)?;
+        let ranks = args.req_usize("ranks")?;
+        if ranks == 0 {
+            return Err("--ranks must be at least 1".into());
+        }
+        let size = match args.opt("size") {
+            None => 1024,
+            Some(s) => parse_size(s).ok_or_else(|| format!("bad --size `{s}`"))?,
+        };
+        let timeout = Duration::from_secs(args.opt_usize("timeout", 120)? as u64);
+        alg.supports(op, ranks)?;
+        Ok(LaunchSpec {
+            op,
+            alg,
+            ranks,
+            size,
+            timeout,
+        })
+    }
+
+    /// Per-rank input length, mirroring `ProfileSpec::input_len`: alltoall
+    /// needs a multiple of `p`, barrier carries no payload.
+    fn input_len(&self) -> usize {
+        match self.op {
+            CollectiveOp::Alltoall => {
+                if self.size < self.ranks {
+                    self.ranks
+                } else {
+                    self.size - self.size % self.ranks
+                }
+            }
+            CollectiveOp::Barrier => 0,
+            _ => self.size,
+        }
+    }
+
+    /// The worker argv re-invoking this spec (parseable by
+    /// [`LaunchSpec::from_args`]).
+    fn worker_argv(&self) -> Vec<String> {
+        vec![
+            "launch".into(),
+            self.op.to_string(),
+            "--alg".into(),
+            alg_to_spec(&self.alg),
+            "--ranks".into(),
+            self.ranks.to_string(),
+            "--size".into(),
+            self.size.to_string(),
+            "--timeout".into(),
+            self.timeout.as_secs().to_string(),
+        ]
+    }
+}
+
+/// Entry point for the `launch` subcommand. Worker processes are told apart
+/// from the launcher by the presence of `EXACOLL_RANK` in the environment.
+pub fn run(args: &Args) -> Result<(), String> {
+    if std::env::var_os("EXACOLL_RANK").is_some() {
+        worker(&LaunchSpec::from_args(args)?)
+    } else {
+        launcher(args)
+    }
+}
+
+fn env_var(key: &str) -> Result<String, String> {
+    std::env::var(key).map_err(|_| format!("{key} is not set or not UTF-8"))
+}
+
+/// A dissemination barrier, used to align worker epochs before the timed
+/// collective and to keep output ordering clean after it.
+fn barrier<C: exacoll_comm::Comm>(c: &mut C) -> Result<(), String> {
+    let args = CollArgs::new(CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 });
+    execute(c, &args, &[])
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// One worker process: join the socket world, run the collective under
+/// instrumentation, verify against the sequential reference, optionally
+/// dump the timeline.
+fn worker(spec: &LaunchSpec) -> Result<(), String> {
+    let rank: usize = env_var("EXACOLL_RANK")?
+        .parse()
+        .map_err(|_| "EXACOLL_RANK must be an integer".to_string())?;
+    let root: SocketAddr = env_var("EXACOLL_ROOT")?
+        .parse()
+        .map_err(|_| "EXACOLL_ROOT must be a socket address".to_string())?;
+    let fail = |stage: &str, e: String| format!("rank {rank} ({stage}): {e}");
+
+    let mut opts = SocketOptions::new(root);
+    opts.deadline = spec.timeout;
+    let mut c =
+        SocketComm::join(rank, spec.ranks, &opts).map_err(|e| fail("join", e.to_string()))?;
+
+    let coll = CollArgs::new(spec.op, spec.alg);
+    let len = spec.input_len();
+    let input = payload(rank, len);
+
+    // Align the epoch across processes: everyone leaves the barrier within
+    // one wire latency of each other, then starts its clock.
+    barrier(&mut c).map_err(|e| fail("entry barrier", e))?;
+    let mut tc = TimedComm::new(&mut c);
+    let output = execute(&mut tc, &coll, &input).map_err(|e| fail("execute", e.to_string()))?;
+    let (_, timeline) = tc.into_parts();
+
+    let inputs: Vec<Vec<u8>> = (0..spec.ranks).map(|r| payload(r, len)).collect();
+    let expected = expected_outputs(coll.op, coll.root, coll.dtype, coll.rop, &inputs)
+        .map_err(|e| fail("reference", e.to_string()))?;
+    if output != expected[rank] {
+        return Err(fail(
+            "verify",
+            format!(
+                "output mismatch: got {} B, expected {} B",
+                output.len(),
+                expected[rank].len()
+            ),
+        ));
+    }
+    barrier(&mut c).map_err(|e| fail("exit barrier", e))?;
+
+    if let Ok(path) = env_var("EXACOLL_TIMELINE") {
+        std::fs::write(&path, timeline_to_json(&timeline).pretty())
+            .map_err(|e| fail("timeline", format!("writing {path}: {e}")))?;
+    }
+    if rank == 0 {
+        println!(
+            "rank 0: {}/{} verified on {} process(es), {} B per rank",
+            spec.op, spec.alg, spec.ranks, len
+        );
+    }
+    Ok(())
+}
+
+/// Resolve the binary to re-invoke for workers. `EXACOLL_BIN` overrides
+/// `current_exe` so test harnesses (whose `current_exe` is the test runner)
+/// can point workers at the real CLI.
+fn worker_binary() -> Result<PathBuf, String> {
+    if let Some(bin) = std::env::var_os("EXACOLL_BIN") {
+        return Ok(PathBuf::from(bin));
+    }
+    std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))
+}
+
+/// A fresh scratch directory for per-rank timeline files. Uniqueness needs
+/// both the pid and a counter: one process may run several launches.
+fn timeline_dir() -> Result<PathBuf, String> {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "exacoll-launch-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn timeline_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank{rank}.json"))
+}
+
+/// Spawn worker processes for ranks `0..spawn_n`, optionally pointing each
+/// at a timeline dump file.
+fn spawn_workers(
+    spec: &LaunchSpec,
+    root: SocketAddr,
+    spawn_n: usize,
+    tl_dir: Option<&Path>,
+) -> Result<Vec<Child>, String> {
+    let bin = worker_binary()?;
+    let argv = spec.worker_argv();
+    let mut children = Vec::with_capacity(spawn_n);
+    for rank in 0..spawn_n {
+        let mut cmd = Command::new(&bin);
+        cmd.args(&argv)
+            .env("EXACOLL_RANK", rank.to_string())
+            .env("EXACOLL_ROOT", root.to_string())
+            .stdin(Stdio::null());
+        if let Some(dir) = tl_dir {
+            cmd.env("EXACOLL_TIMELINE", timeline_path(dir, rank));
+        }
+        children.push(
+            cmd.spawn()
+                .map_err(|e| format!("spawning rank {rank} ({}): {e}", bin.display()))?,
+        );
+    }
+    Ok(children)
+}
+
+/// Wait for all children within `timeout`; kill and report whatever is
+/// still running when it expires. Returns per-rank failure descriptions.
+fn wait_workers(children: &mut [Child], timeout: Duration) -> Vec<String> {
+    let start = Instant::now();
+    let mut failures = Vec::new();
+    let mut done = vec![false; children.len()];
+    while done.iter().any(|d| !d) {
+        let mut progressed = false;
+        for (rank, child) in children.iter_mut().enumerate() {
+            if done[rank] {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    done[rank] = true;
+                    progressed = true;
+                    if !status.success() {
+                        failures.push(format!("rank {rank} exited with {status}"));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    done[rank] = true;
+                    progressed = true;
+                    failures.push(format!("rank {rank} unwaitable: {e}"));
+                }
+            }
+        }
+        if done.iter().all(|d| *d) {
+            break;
+        }
+        if start.elapsed() >= timeout {
+            for (rank, child) in children.iter_mut().enumerate() {
+                if !done[rank] {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    failures.push(format!("rank {rank} killed after {timeout:?} timeout"));
+                }
+            }
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    failures
+}
+
+/// Read back the per-rank timeline dumps written by the workers.
+fn collect_timelines(dir: &Path, p: usize) -> Result<Vec<RankTimeline>, String> {
+    (0..p)
+        .map(|rank| {
+            let path = timeline_path(dir, rank);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let value = exacoll_json::parse(&text)
+                .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+            timeline_from_json(&value)
+        })
+        .collect()
+}
+
+/// Run a full local world for `spec` and return the per-rank timelines.
+/// This is the engine under both `exacoll launch` (all-local case) and
+/// `exacoll profile --backend tcp`.
+fn run_local_world(
+    spec: &LaunchSpec,
+    want_timelines: bool,
+) -> Result<Option<Vec<RankTimeline>>, String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding rendezvous: {e}"))?;
+    let root = listener.local_addr().map_err(|e| e.to_string())?;
+    let p = spec.ranks;
+    let deadline = spec.timeout + Duration::from_secs(5);
+    let server = std::thread::spawn(move || serve_rendezvous(&listener, p, deadline));
+
+    let tl_dir = if want_timelines {
+        Some(timeline_dir()?)
+    } else {
+        None
+    };
+    let result = (|| {
+        let mut children = spawn_workers(spec, root, p, tl_dir.as_deref())?;
+        // Workers get the full timeout; the launcher allows a little extra
+        // so worker-side deadlines fire first with a precise error.
+        let failures = wait_workers(&mut children, spec.timeout + Duration::from_secs(10));
+        if !failures.is_empty() {
+            return Err(format!(
+                "{}/{} worker(s) failed:\n  {}",
+                failures.len(),
+                p,
+                failures.join("\n  ")
+            ));
+        }
+        match &tl_dir {
+            Some(dir) => collect_timelines(dir, p).map(Some),
+            None => Ok(None),
+        }
+    })();
+    if let Some(dir) = &tl_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    match server.join() {
+        Ok(Ok(_)) | Ok(Err(_)) => {} // worker errors already reported above
+        Err(_) => return Err("rendezvous thread panicked".into()),
+    }
+    result
+}
+
+/// Profile one collective on the TCP backend: run a full local world with
+/// timeline collection and fold the result into the same [`BackendRun`]
+/// shape the thread/sim profilers produce, so critical-path extraction,
+/// residual analysis, and Chrome export apply unchanged.
+pub fn profile_tcp(spec: &ProfileSpec) -> Result<BackendRun, String> {
+    let launch = LaunchSpec {
+        op: spec.op,
+        alg: spec.alg,
+        ranks: spec.ranks(),
+        size: spec.size,
+        timeout: Duration::from_secs(120),
+    };
+    let timelines = run_local_world(&launch, true)?.expect("timelines requested");
+    let makespan = makespan_ns(&timelines);
+    Ok(BackendRun {
+        backend: "tcp",
+        timelines,
+        makespan_ns: makespan,
+    })
+}
+
+/// The launcher process: host the rendezvous, fork workers (or print their
+/// environment for manual multi-host starts), wait, merge timelines.
+fn launcher(args: &Args) -> Result<(), String> {
+    let spec = LaunchSpec::from_args(args)?;
+    match parse_backend(args.opt("backend").unwrap_or("tcp"))? {
+        Backend::Tcp => {}
+        other => {
+            return Err(format!(
+                "launch runs multi-process worlds on the tcp backend only (got {other:?}; \
+                 use `exacoll profile` for thread|sim)"
+            ))
+        }
+    }
+    let spawn_n = args.opt_usize("spawn", spec.ranks)?;
+    if spawn_n > spec.ranks {
+        return Err(format!("--spawn {spawn_n} exceeds --ranks {}", spec.ranks));
+    }
+    let chrome = args.opt("chrome");
+    if chrome.is_some() && spawn_n != spec.ranks {
+        return Err("--chrome needs all ranks local (don't combine with --spawn)".into());
+    }
+
+    let bind = args.opt("bind").unwrap_or("127.0.0.1:0");
+    let listener =
+        TcpListener::bind(bind).map_err(|e| format!("binding rendezvous on {bind}: {e}"))?;
+    let root = listener.local_addr().map_err(|e| e.to_string())?;
+    let p = spec.ranks;
+    let deadline = spec.timeout + Duration::from_secs(5);
+    let server = std::thread::spawn(move || serve_rendezvous(&listener, p, deadline));
+
+    eprintln!(
+        "launch: {}/{} on {} process(es) ({} B per rank), rendezvous at {root}",
+        spec.op,
+        spec.alg,
+        spec.ranks,
+        spec.input_len()
+    );
+    if spawn_n < spec.ranks {
+        let argv = spec.worker_argv().join(" ");
+        eprintln!("start the remaining ranks by hand:");
+        for rank in spawn_n..spec.ranks {
+            println!("EXACOLL_RANK={rank} EXACOLL_ROOT={root} exacoll {argv}");
+        }
+    }
+
+    let tl_dir = if chrome.is_some() {
+        Some(timeline_dir()?)
+    } else {
+        None
+    };
+    let result = (|| {
+        let mut children = spawn_workers(&spec, root, spawn_n, tl_dir.as_deref())?;
+        let failures = wait_workers(&mut children, spec.timeout + Duration::from_secs(10));
+        if !failures.is_empty() {
+            return Err(format!(
+                "{}/{} worker(s) failed:\n  {}",
+                failures.len(),
+                spawn_n,
+                failures.join("\n  ")
+            ));
+        }
+        if let (Some(dir), Some(path)) = (&tl_dir, chrome) {
+            let timelines = collect_timelines(dir, spec.ranks)?;
+            let doc = chrome_trace(&[("tcp", timelines.as_slice())]);
+            let tracks = rank_tracks(&doc)?;
+            std::fs::write(path, doc.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "chrome trace written to {path} ({} track(s), makespan {:.3} us); \
+                 open it at https://ui.perfetto.dev",
+                tracks.len(),
+                makespan_ns(&timelines) / 1000.0
+            );
+        }
+        Ok(())
+    })();
+    if let Some(dir) = &tl_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    if let Err(e) = server.join().map_err(|_| "rendezvous thread panicked")? {
+        // Rendezvous failure usually surfaces as worker failures too; only
+        // add it when the workers somehow looked clean.
+        if result.is_ok() {
+            return Err(format!("rendezvous failed: {e}"));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn launch_spec_parses_the_acceptance_grammar() {
+        let spec = LaunchSpec::from_args(&args(
+            "launch --ranks 8 --backend tcp allreduce --alg recmult:4 --size 65536",
+        ))
+        .unwrap();
+        assert_eq!(spec.op, CollectiveOp::Allreduce);
+        assert_eq!(spec.alg, Algorithm::RecursiveMultiplying { k: 4 });
+        assert_eq!(spec.ranks, 8);
+        assert_eq!(spec.size, 65536);
+        assert_eq!(spec.input_len(), 65536);
+    }
+
+    #[test]
+    fn launch_spec_adjusts_alltoall_and_barrier_lengths() {
+        let a2a = LaunchSpec::from_args(&args(
+            "launch alltoall --alg pairwise --ranks 6 --size 1000",
+        ))
+        .unwrap();
+        assert_eq!(a2a.input_len(), 996);
+        let bar =
+            LaunchSpec::from_args(&args("launch barrier --alg dissemination:2 --ranks 4")).unwrap();
+        assert_eq!(bar.input_len(), 0);
+    }
+
+    #[test]
+    fn worker_argv_round_trips_through_the_parser() {
+        let spec = LaunchSpec::from_args(&args(
+            "launch allreduce --alg recmult:4 --ranks 8 --size 64K --timeout 30",
+        ))
+        .unwrap();
+        let argv = spec.worker_argv();
+        let back = LaunchSpec::from_args(&Args::parse(&argv).unwrap()).unwrap();
+        assert_eq!(back.op, spec.op);
+        assert_eq!(back.alg, spec.alg);
+        assert_eq!(back.ranks, spec.ranks);
+        assert_eq!(back.size, spec.size);
+        assert_eq!(back.timeout, spec.timeout);
+    }
+
+    #[test]
+    fn launcher_rejects_non_tcp_backends_and_bad_spawn() {
+        let err = launcher(&args(
+            "launch allreduce --alg ring --ranks 2 --backend thread",
+        ))
+        .unwrap_err();
+        assert!(err.contains("tcp backend only"), "got: {err}");
+        let err = launcher(&args("launch allreduce --alg ring --ranks 2 --spawn 3")).unwrap_err();
+        assert!(err.contains("--spawn"), "got: {err}");
+    }
+
+    #[test]
+    fn unsupported_combination_is_rejected_up_front() {
+        // bruck is an allgather/alltoall algorithm, not an allreduce one.
+        assert!(LaunchSpec::from_args(&args("launch allreduce --alg bruck --ranks 4")).is_err());
+    }
+}

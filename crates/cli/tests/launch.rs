@@ -1,0 +1,222 @@
+//! End-to-end tests for `exacoll launch`: real OS processes over real TCP
+//! sockets, driven through the actual binary (`CARGO_BIN_EXE_exacoll`, not
+//! in-process dispatch — worker processes re-invoke `current_exe`, which
+//! must be the CLI itself, not the test runner).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn exacoll(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_exacoll"))
+        .args(args)
+        .output()
+        .expect("spawn exacoll binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("exacoll-launch-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn acceptance_allreduce_8_processes() {
+    // The ISSUE acceptance command, verbatim: positional op after flags.
+    let out = exacoll(&[
+        "launch",
+        "--ranks",
+        "8",
+        "--backend",
+        "tcp",
+        "allreduce",
+        "--alg",
+        "recmult:4",
+        "--size",
+        "65536",
+        "--timeout",
+        "60",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "launch failed:\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("verified on 8 process(es)"),
+        "missing verification line: {stdout}"
+    );
+}
+
+#[test]
+fn acceptance_chrome_trace_has_one_track_per_rank() {
+    let trace = tmp("accept.json");
+    let out = exacoll(&[
+        "launch",
+        "--ranks",
+        "8",
+        "--backend",
+        "tcp",
+        "allreduce",
+        "--alg",
+        "recmult:4",
+        "--size",
+        "65536",
+        "--timeout",
+        "60",
+        "--chrome",
+        trace.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "launch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = exacoll_json::parse(&text).expect("trace is valid JSON");
+    let tracks = exacoll_obs::rank_tracks(&doc).expect("trace is Chrome-shaped");
+    assert_eq!(tracks.len(), 8, "expected one track per rank");
+    for ((_, _), slices) in tracks {
+        assert!(slices > 0, "every rank track has at least one slice");
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn bcast_and_barrier_worlds_verify() {
+    let out = exacoll(&[
+        "launch",
+        "bcast",
+        "--alg",
+        "knomial:3",
+        "--ranks",
+        "4",
+        "--size",
+        "4K",
+        "--timeout",
+        "60",
+    ]);
+    assert!(
+        out.status.success(),
+        "bcast launch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = exacoll(&[
+        "launch",
+        "barrier",
+        "--alg",
+        "dissemination:2",
+        "--ranks",
+        "5",
+        "--timeout",
+        "60",
+    ]);
+    assert!(
+        out.status.success(),
+        "barrier launch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn profile_tcp_backend_emits_chrome_trace() {
+    let trace = tmp("profile-tcp.json");
+    let out = exacoll(&[
+        "profile",
+        "allreduce",
+        "--alg",
+        "recmult:2",
+        "--ranks",
+        "4",
+        "--size",
+        "2K",
+        "--backend",
+        "tcp",
+        "--chrome",
+        trace.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "profile --backend tcp failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("backend: tcp"),
+        "missing tcp section: {stdout}"
+    );
+    assert!(
+        stdout.contains("critical path"),
+        "missing analysis: {stdout}"
+    );
+    let doc = exacoll_json::parse(&std::fs::read_to_string(&trace).expect("trace written"))
+        .expect("valid JSON");
+    let tracks = exacoll_obs::rank_tracks(&doc).expect("Chrome-shaped");
+    assert_eq!(tracks.len(), 4);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn unknown_backend_error_lists_accepted_values() {
+    let out = exacoll(&[
+        "launch",
+        "allreduce",
+        "--alg",
+        "ring",
+        "--ranks",
+        "2",
+        "--backend",
+        "ib",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("thread|sim|tcp|both"),
+        "error should list accepted backends: {stderr}"
+    );
+}
+
+#[test]
+fn launch_rejects_in_process_backends() {
+    let out = exacoll(&[
+        "launch",
+        "allreduce",
+        "--alg",
+        "ring",
+        "--ranks",
+        "2",
+        "--backend",
+        "thread",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tcp backend only"), "got: {stderr}");
+}
+
+#[test]
+fn partial_spawn_prints_manual_env_lines() {
+    // --spawn 0 starts nobody: the launcher prints one env line per rank
+    // and then times out waiting for the world (bounded by --timeout).
+    let out = exacoll(&[
+        "launch",
+        "allreduce",
+        "--alg",
+        "ring",
+        "--ranks",
+        "2",
+        "--spawn",
+        "0",
+        "--timeout",
+        "1",
+    ]);
+    assert!(!out.status.success(), "no workers ever joined");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("EXACOLL_RANK=0") && stdout.contains("EXACOLL_RANK=1"),
+        "missing env lines: {stdout}"
+    );
+    assert!(
+        stdout.contains("EXACOLL_ROOT="),
+        "missing rendezvous address: {stdout}"
+    );
+}

@@ -13,6 +13,15 @@ impl Req {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Construct a handle from a backend-internal index. This is the
+    /// backend-implementor API: out-of-crate [`Comm`] implementations (the
+    /// TCP backend) need to mint handles for the requests they track. A
+    /// forged or stale handle is harmless — backends answer it with
+    /// `CommError::UnknownRequest`.
+    pub fn from_index(index: usize) -> Req {
+        Req(index)
+    }
 }
 
 /// The communication surface collective algorithms are written against.

@@ -283,6 +283,18 @@ impl ThreadComm {
         }
         Ok(data)
     }
+
+    /// Consume a request handle, erroring on stale/unknown handles.
+    fn take_state(&mut self, req: Req) -> CommResult<ReqState> {
+        let idx = req.0;
+        if idx >= self.reqs.len() {
+            return Err(CommError::UnknownRequest { handle: idx });
+        }
+        match std::mem::replace(&mut self.reqs[idx], ReqState::Consumed) {
+            ReqState::Consumed => Err(CommError::UnknownRequest { handle: idx }),
+            live => Ok(live),
+        }
+    }
 }
 
 impl Comm for ThreadComm {
@@ -315,18 +327,96 @@ impl Comm for ThreadComm {
     }
 
     fn wait(&mut self, req: Req) -> CommResult<Option<Vec<u8>>> {
-        let idx = req.0;
-        if idx >= self.reqs.len() {
-            return Err(CommError::UnknownRequest { handle: idx });
-        }
-        let state = std::mem::replace(&mut self.reqs[idx], ReqState::Consumed);
-        match state {
+        match self.take_state(req)? {
             ReqState::SendDone => Ok(None),
             ReqState::RecvPosted { from, tag, bytes } => {
                 let data = self.complete_recv(from, tag, bytes)?;
                 Ok(Some(data))
             }
-            ReqState::Consumed => Err(CommError::UnknownRequest { handle: idx }),
+            ReqState::Consumed => unreachable!("take_state rejects consumed handles"),
+        }
+    }
+
+    /// Out-of-order completion. Sends are eager (already complete), so only
+    /// receives can block — and this backend drains arrivals into the
+    /// unexpected queue regardless of which receive is being waited on, so
+    /// the *default* sequential `waitall` could not deadlock here either.
+    /// The override still matters: it completes whichever receive's message
+    /// arrives first, so one slow sender does not charge its latency to the
+    /// whole batch's deadline accounting, and the semantics match the TCP
+    /// backend exactly.
+    fn waitall(&mut self, reqs: Vec<Req>) -> CommResult<Vec<Option<Vec<u8>>>> {
+        let mut out: Vec<Option<Vec<u8>>> = (0..reqs.len()).map(|_| None).collect();
+        // (result slot, from, tag, posted) for still-unmatched receives, in
+        // posting order so same-(from, tag) requests match FIFO.
+        let mut pending: Vec<(usize, Rank, Tag, usize)> = Vec::new();
+        for (slot, req) in reqs.into_iter().enumerate() {
+            match self.take_state(req)? {
+                ReqState::SendDone => {}
+                ReqState::RecvPosted { from, tag, bytes } => {
+                    pending.push((slot, from, tag, bytes));
+                }
+                ReqState::Consumed => unreachable!("take_state rejects consumed handles"),
+            }
+        }
+        if pending.is_empty() {
+            return Ok(out);
+        }
+        let start = Instant::now();
+        loop {
+            self.check_abort()?;
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (slot, from, tag, posted) = pending[i];
+                match self.match_unexpected(from, tag) {
+                    Some(data) => {
+                        if data.len() > posted {
+                            return Err(CommError::Truncation {
+                                rank: self.rank,
+                                from,
+                                tag,
+                                posted,
+                                arrived: data.len(),
+                            });
+                        }
+                        out[slot] = Some(data);
+                        pending.remove(i);
+                        progressed = true;
+                    }
+                    None => i += 1,
+                }
+            }
+            if pending.is_empty() {
+                return Ok(out);
+            }
+            if progressed {
+                continue;
+            }
+            for &(_, from, _, _) in &pending {
+                if self.gone[from] {
+                    return Err(CommError::PeerGone { peer: from });
+                }
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.deadline {
+                let (_, from, tag, bytes) = pending[0];
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    from,
+                    tag,
+                    bytes,
+                });
+            }
+            let wait = (self.deadline - elapsed).min(POLL_QUANTUM);
+            match self.rx.recv_timeout(wait) {
+                Ok(Envelope::Msg(s, t, data)) => self.unexpected.push((s, t, data)),
+                Ok(Envelope::Gone(g)) => self.gone[g] = true,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { peer: pending[0].1 });
+                }
+            }
         }
     }
 
@@ -570,6 +660,52 @@ mod tests {
             }
         });
         assert_eq!(out[0], (1..8).sum::<usize>());
+    }
+
+    #[test]
+    fn waitall_completes_out_of_order() {
+        // Rank 0 posts its receive from the slow sender FIRST; the fast
+        // senders' messages must complete while the slow one is pending,
+        // and arrival order must not disturb result-slot order.
+        let p = 4;
+        let out = run_ranks(p, |c| match c.rank() {
+            0 => {
+                let reqs: Vec<Req> = (1..p)
+                    .map(|r| c.irecv(r, 0, 8))
+                    .collect::<CommResult<_>>()?;
+                let msgs = c.waitall(reqs)?;
+                Ok(msgs.into_iter().map(|m| m.unwrap()[0]).collect::<Vec<u8>>())
+            }
+            1 => {
+                std::thread::sleep(Duration::from_millis(150));
+                c.send(0, 0, vec![1u8; 8])?;
+                Ok(vec![])
+            }
+            r => {
+                c.send(0, 0, vec![r as u8; 8])?;
+                Ok(vec![])
+            }
+        });
+        assert_eq!(out[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn waitall_same_tag_pairs_in_posting_order() {
+        // Two receives share (from, tag); the first-posted must get the
+        // first-sent payload even though waitall matches out of order.
+        let out = run_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 4, vec![10])?;
+                c.send(1, 4, vec![20])?;
+                Ok(vec![])
+            } else {
+                let a = c.irecv(0, 4, 1)?;
+                let b = c.irecv(0, 4, 1)?;
+                let msgs = c.waitall(vec![a, b])?;
+                Ok(msgs.into_iter().map(|m| m.unwrap()[0]).collect::<Vec<u8>>())
+            }
+        });
+        assert_eq!(out[1], vec![10, 20]);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # exacoll-net — the distributed TCP backend
+//!
+//! [`SocketComm`] implements [`exacoll_comm::Comm`] over a full mesh of TCP
+//! connections, so every generalized kernel in `exacoll-core` runs
+//! unmodified across OS **processes** (and across hosts): same `(source,
+//! tag)` matching, same non-overtaking guarantee, same hang-free error
+//! taxonomy as the in-process `ThreadComm` — but with real sockets, real
+//! serialization, and real kernel scheduling underneath.
+//!
+//! The crate has three layers:
+//!
+//! - [`wire`]: the length-prefixed frame protocol every connection speaks.
+//! - [`bootstrap`]: rendezvous (rank↔address table exchange) and mesh
+//!   construction, all steps bounded by deadlines with connect retry +
+//!   exponential backoff.
+//! - [`socket_rt`]: the endpoint itself — per-peer reader threads feeding a
+//!   condvar-signalled matching queue, eager sends, out-of-order `waitall`,
+//!   departure/abort propagation — plus an in-process test harness
+//!   ([`run_socket_ranks`]) that drives the identical code path under
+//!   `cargo test`.
+//!
+//! Multi-process execution is orchestrated by the `exacoll launch` CLI
+//! subcommand, which hosts the rendezvous, forks one worker process per
+//! rank, and verifies the collective's result against the sequential
+//! reference.
+
+pub mod bootstrap;
+pub mod socket_rt;
+pub mod wire;
+
+pub use bootstrap::{
+    connect_with_retry, map_io, parse_table, serve_rendezvous, SocketOptions, TAG_BOOTSTRAP,
+    TAG_MESH,
+};
+pub use socket_rt::{
+    run_socket_ranks, try_run_socket_ranks, try_run_socket_ranks_with, SocketComm,
+};

@@ -1,0 +1,162 @@
+//! The length-prefixed wire protocol carried on every TCP connection.
+//!
+//! A connection is a stream of **frames**. Every frame has a fixed 13-byte
+//! header — kind (1 B), source rank (u32 LE), tag (u32 LE), payload length
+//! (u32 LE) — followed by the payload. Data connections carry [`KIND_MSG`]
+//! frames (the `(src, tag, payload)` triple the matching engine consumes)
+//! plus the control frames that make the runtime hang-free: [`KIND_GONE`]
+//! announces a clean departure, [`KIND_ABORT`] propagates a cooperative
+//! abort (the origin rank rides in the `src` field). Bootstrap connections
+//! carry [`KIND_HELLO`] / [`KIND_TABLE`] (rendezvous) and [`KIND_IDENT`]
+//! (mesh connection ownership).
+//!
+//! Because each ordered rank pair shares exactly one TCP stream and TCP is
+//! FIFO, frames from a given sender arrive in send order — which is what
+//! gives the backend MPI's non-overtaking guarantee per (sender, receiver,
+//! tag) once the matching queue preserves arrival order.
+
+use exacoll_comm::{Rank, Tag};
+use std::io::{self, Read, Write};
+
+/// A message frame: `(src, tag, payload)`, matched by the receiver.
+pub const KIND_MSG: u8 = 0;
+/// The sender's endpoint is going away; no further frames will follow.
+pub const KIND_GONE: u8 = 1;
+/// Cooperative abort; the origin rank is carried in `src`.
+pub const KIND_ABORT: u8 = 2;
+/// Bootstrap: a worker reports `(rank, data-listener address)` to the
+/// rendezvous (address as UTF-8 payload).
+pub const KIND_HELLO: u8 = 3;
+/// Bootstrap: the rendezvous answers with the full rank↔address table
+/// (newline-joined addresses in rank order).
+pub const KIND_TABLE: u8 = 4;
+/// Mesh: the connecting side of a data connection announces its rank.
+pub const KIND_IDENT: u8 = 5;
+
+/// Refuse to allocate for absurd lengths: a corrupted or misaligned stream
+/// fails fast with `InvalidData` instead of an OOM.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 13;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// One of the `KIND_*` constants.
+    pub kind: u8,
+    /// Source rank (or abort origin for [`KIND_ABORT`]).
+    pub src: u32,
+    /// Message tag (zero for control frames).
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A data message frame.
+    pub fn msg(src: Rank, tag: Tag, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: KIND_MSG,
+            src: src as u32,
+            tag,
+            payload,
+        }
+    }
+
+    /// A payload-free control frame.
+    pub fn control(kind: u8, src: Rank) -> Frame {
+        Frame {
+            kind,
+            src: src as u32,
+            tag: 0,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Serialize one frame onto `w` and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = frame.kind;
+    header[1..5].copy_from_slice(&frame.src.to_le_bytes());
+    header[5..9].copy_from_slice(&frame.tag.to_le_bytes());
+    header[9..13].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)?;
+    w.flush()
+}
+
+/// Read exactly one frame from `r`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let kind = header[0];
+    let src = u32::from_le_bytes(header[1..5].try_into().expect("4-byte slice"));
+    let tag = u32::from_le_bytes(header[5..9].try_into().expect("4-byte slice"));
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload of {len} B exceeds the {MAX_FRAME_PAYLOAD} B limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        kind,
+        src,
+        tag,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::msg(3, 42, vec![1, 2, 3, 4, 5]),
+            Frame::msg(0, 0, Vec::new()),
+            Frame::control(KIND_GONE, 7),
+            Frame::control(KIND_ABORT, 1),
+            Frame {
+                kind: KIND_HELLO,
+                src: 2,
+                tag: 0,
+                payload: b"127.0.0.1:5000".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::msg(0, 1, vec![9; 100])).unwrap();
+        buf.truncate(buf.len() - 10);
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = vec![KIND_MSG];
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -28,12 +28,18 @@ pub mod metrics;
 pub mod profile;
 pub mod residual;
 pub mod timeline;
+pub mod timeline_json;
 
 pub use chrome::{chrome_trace, rank_tracks};
 pub use critical_path::{critical_path, CriticalPath, CriticalStep};
 pub use metrics::{bucket_of, Histogram, Metrics, BUCKETS};
-pub use profile::{intra_net_of, net_of, profile_sim, profile_thread, BackendRun, ProfileSpec};
+pub use profile::{
+    intra_net_of, net_of, payload, profile_sim, profile_thread, BackendRun, ProfileSpec,
+};
 pub use residual::{analyze_residuals, PhaseResidual, ResidualReport};
 pub use timeline::{
     makespan_ns, timelines_from_sim, EventKind, RankTimeline, TimedComm, TimedEvent,
+};
+pub use timeline_json::{
+    timeline_from_json, timeline_to_json, timelines_from_json, timelines_to_json,
 };

@@ -90,8 +90,10 @@ pub fn intra_net_of(machine: &Machine) -> NetParams {
     }
 }
 
-/// Deterministic per-rank payload so thread-backend runs are reproducible.
-fn payload(rank: usize, len: usize) -> Vec<u8> {
+/// Deterministic per-rank payload so instrumented runs are reproducible —
+/// and so a verifier in *another process* (the TCP launcher's workers) can
+/// reconstruct every rank's input without any data exchange.
+pub fn payload(rank: usize, len: usize) -> Vec<u8> {
     (0..len)
         .map(|i| ((rank * 131 + i * 7) % 251) as u8)
         .collect()

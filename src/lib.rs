@@ -19,6 +19,9 @@
 //! * [`obs`] — observability: timed event timelines on both backends,
 //!   metrics registry, Chrome-trace export, critical-path extraction, and
 //!   model-vs-measured residual analysis.
+//! * [`net`] — the distributed TCP backend: multi-process `SocketComm`
+//!   runtime with a length-prefixed wire protocol, rendezvous bootstrap,
+//!   and a per-peer progress engine.
 //! * [`json`] — the dependency-free JSON layer the snapshots and exporters
 //!   serialize through.
 //!
@@ -48,6 +51,7 @@ pub use exacoll_comm as comm;
 pub use exacoll_core as collectives;
 pub use exacoll_json as json;
 pub use exacoll_models as models;
+pub use exacoll_net as net;
 pub use exacoll_obs as obs;
 pub use exacoll_osu as osu;
 pub use exacoll_sim as sim;
