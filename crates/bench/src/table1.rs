@@ -3,7 +3,7 @@
 //! Rendered from the live registry, and cross-checked against the actual
 //! dispatch (every listed pair must be runnable).
 
-use exacoll_core::registry::{candidates, table_i};
+use exacoll_core::registry::{table_i, unique_candidates};
 use exacoll_osu::Table;
 
 /// Render Table I.
@@ -37,11 +37,11 @@ pub fn run(_quick: bool) -> Vec<Table> {
     ]);
 
     let mut cover = Table::new(
-        "Registry coverage: candidate algorithms per collective (p = 128, k <= 16)",
+        "Registry coverage: distinct candidate schedules per collective (p = 128, k <= 16)",
         &["collective", "candidates"],
     );
     for op in exacoll_core::CollectiveOp::ALL {
-        let names: Vec<String> = candidates(op, 128, 16)
+        let names: Vec<String> = unique_candidates(op, 128, 16)
             .iter()
             .map(|a| a.to_string())
             .collect();

@@ -12,6 +12,10 @@
 //!   groups of `k`; `g(k-1)` intra-group rounds interleaved with `g-1`
 //!   inter-group rounds, so most traffic stays on the fast intranode fabric
 //!   when `k` equals the processes-per-node.
+//! * [`allgather_kring_general`] — the k-ring for **non-uniform group
+//!   sizes** (`k ∤ p`), the corner case §VI-A singles out as the largest
+//!   implementation burden. Blocks travel in residue-class bundles (see
+//!   [`build_allgather_kring_general`]).
 //! * [`allgather_recmult`] — recursive multiplying (§IV): one exchange round
 //!   per factor of `p` (each factor ≤ `k`); `k = 2` is recursive doubling
 //!   (Fig. 3), Fig. 4 is `p = 9, k = 3`. Non-`k`-smooth process counts fold
@@ -20,14 +24,20 @@
 //!   blocks only.
 //! * Gather + broadcast over k-nomial trees (Table I's k-nomial allgather)
 //!   via [`allgather_kernel`] with [`AllgatherKernel::GatherBcast`].
+//!
+//! Every kernel is a schedule *builder* returning the `p` per-block buffer
+//! views in rank order; received blocks are *rebound* to freshly allocated
+//! regions, so Bruck rotations, v-rank unshuffles, and the interleaved
+//! recursive-multiplying layout cost no copies — the output
+//! [`SgList`] absorbs the permutation.
 
-use crate::allgather_kring_general::allgather_kring_general;
-use crate::bcast::bcast_knomial;
-use crate::gather::gather_knomial;
+use crate::bcast::build_bcast_knomial;
+use crate::gather::build_gather_knomial;
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::{factorize, largest_smooth_leq};
-use crate::util::{pmod, prefix_offsets};
-use exacoll_comm::{Comm, CommResult, Req};
+use crate::util::{block_range, pmod, prefix_offsets};
+use exacoll_comm::{Comm, CommResult};
 
 /// Which allgather kernel to run (also selects the second phase of
 /// scatter-allgather broadcast).
@@ -58,6 +68,33 @@ pub enum AllgatherKernel {
     },
 }
 
+/// Lower the chosen allgather kernel into `b`. `own` is this rank's block
+/// (`sizes[rank]` bytes); returns the `p` block views in rank order.
+pub(crate) fn build_allgather_kernel(
+    b: &mut ScheduleBuilder,
+    kernel: AllgatherKernel,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    debug_assert_eq!(sizes.len(), b.p());
+    match kernel {
+        AllgatherKernel::Ring => build_allgather_ring_from(b, b.rank(), own, sizes),
+        AllgatherKernel::KRing { k } if b.p().is_multiple_of(k) => {
+            build_allgather_kring(b, k, own, sizes)
+        }
+        AllgatherKernel::KRing { k } => build_allgather_kring_general(b, k, own, sizes),
+        AllgatherKernel::RecursiveMultiplying { k } => build_allgather_recmult(b, k, own, sizes),
+        AllgatherKernel::Bruck => build_allgather_bruck(b, own, sizes),
+        AllgatherKernel::GatherBcast { k } => {
+            let n = uniform_size(sizes).expect("gather+bcast needs uniform blocks");
+            let p = b.p();
+            let gathered = build_gather_knomial(b, k, 0, own);
+            let full = build_bcast_knomial(b, k, 0, gathered, p * n);
+            (0..p).map(|r| full.slice(r * n, n)).collect()
+        }
+    }
+}
+
 /// Run the chosen allgather kernel. `input` is this rank's block
 /// (`sizes[rank]` bytes); returns all blocks concatenated in rank order.
 pub fn allgather_kernel<C: Comm>(
@@ -68,26 +105,32 @@ pub fn allgather_kernel<C: Comm>(
 ) -> CommResult<Vec<u8>> {
     debug_assert_eq!(sizes.len(), c.size());
     debug_assert_eq!(input.len(), sizes[c.rank()]);
-    match kernel {
-        AllgatherKernel::Ring => allgather_ring(c, input, sizes),
-        AllgatherKernel::KRing { k } if c.size().is_multiple_of(k) => {
-            allgather_kring(c, k, input, sizes)
-        }
-        AllgatherKernel::KRing { k } => allgather_kring_general(c, k, input, sizes),
-        AllgatherKernel::RecursiveMultiplying { k } => allgather_recmult(c, k, input, sizes),
-        AllgatherKernel::Bruck => allgather_bruck(c, input, sizes),
-        AllgatherKernel::GatherBcast { k } => {
-            let n = uniform_size(sizes).expect("gather+bcast needs uniform blocks");
-            let p = c.size();
-            let gathered = gather_knomial(c, k, 0, input)?;
-            bcast_knomial(c, k, 0, gathered.as_deref(), p * n)
-        }
-    }
+    run_blocks(c, c.rank(), input, sizes, |b, own| {
+        build_allgather_kernel(b, kernel, own, sizes)
+    })
 }
 
 fn uniform_size(sizes: &[usize]) -> Option<usize> {
     let n = sizes[0];
     sizes.iter().all(|&s| s == n).then_some(n)
+}
+
+/// Shared wrapper: alloc this rank's block (`sizes[own_idx]` bytes), lower
+/// with `build`, and execute. `input` fills a prefix of the block, matching
+/// the zero-padded buffers the hand-written loops used.
+fn run_blocks<C: Comm>(
+    c: &mut C,
+    own_idx: usize,
+    input: &[u8],
+    sizes: &[usize],
+    build: impl FnOnce(&mut ScheduleBuilder, SgList) -> Vec<SgList>,
+) -> CommResult<Vec<u8>> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(sizes[own_idx]);
+    let blocks = build(&mut b, own.clone());
+    let out = SgList::concat(&blocks);
+    let schedule = b.finish(own.slice(0, input.len()), out);
+    execute_schedule(c, &schedule, input)
 }
 
 /// Classic ring allgather, with this rank contributing block `rank`.
@@ -105,32 +148,44 @@ pub fn allgather_ring_from<C: Comm>(
     input: &[u8],
     sizes: &[usize],
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    let off = prefix_offsets(sizes);
-    let mut out = vec![0u8; off[p]];
-    out[off[own_idx]..off[own_idx] + input.len()].copy_from_slice(input);
+    run_blocks(c, own_idx, input, sizes, |b, own| {
+        build_allgather_ring_from(b, own_idx, own, sizes)
+    })
+}
+
+/// Lower the ring allgather into `b`, starting from ownership of block
+/// `own_idx`.
+pub(crate) fn build_allgather_ring_from(
+    b: &mut ScheduleBuilder,
+    own_idx: usize,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    let p = b.p();
+    let me = b.rank();
+    let mut blocks = vec![SgList::empty(); p];
+    blocks[own_idx] = own;
     if p == 1 {
-        return Ok(out);
+        return blocks;
     }
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
     for t in 0..p - 1 {
-        c.mark("ag-ring", t as u32);
+        b.mark("ag-ring", t as u32);
         let send_idx = pmod(own_idx as isize - t as isize, p);
         let recv_idx = pmod(own_idx as isize - t as isize - 1, p);
-        let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
-        let got = c.sendrecv(
+        let region = b.alloc(sizes[recv_idx]);
+        b.sendrecv(
             right,
             tags::ALLGATHER_RING,
-            data,
+            blocks[send_idx].clone(),
             left,
             tags::ALLGATHER_RING,
-            sizes[recv_idx],
-        )?;
-        out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+            region.clone(),
+        );
+        blocks[recv_idx] = region;
     }
-    Ok(out)
+    blocks
 }
 
 /// Generalized k-ring allgather (Fig. 6). Requires `k >= 1` and `k | p`.
@@ -144,18 +199,30 @@ pub fn allgather_kring<C: Comm>(
     input: &[u8],
     sizes: &[usize],
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
     let me = c.rank();
+    run_blocks(c, me, input, sizes, |b, own| {
+        build_allgather_kring(b, k, own, sizes)
+    })
+}
+
+/// Lower the uniform-group k-ring into `b`.
+pub(crate) fn build_allgather_kring(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    let p = b.p();
+    let me = b.rank();
     assert!(k >= 1, "k-ring group size must be at least 1");
     assert!(
         p.is_multiple_of(k),
         "k-ring requires the group size ({k}) to divide the process count ({p})"
     );
-    let off = prefix_offsets(sizes);
-    let mut out = vec![0u8; off[p]];
-    out[off[me]..off[me] + input.len()].copy_from_slice(input);
+    let mut blocks = vec![SgList::empty(); p];
+    blocks[me] = own;
     if p == 1 {
-        return Ok(out);
+        return blocks;
     }
     let g = p / k; // number of groups
     let grp = me / k;
@@ -167,44 +234,197 @@ pub fn allgather_kring<C: Comm>(
     let blk = |group: usize, member: usize| group * k + member;
 
     let mut intra_round = 0u32;
-    for b in 0..g {
-        if b > 0 {
+    for r in 0..g {
+        if r > 0 {
             // Inter-group round: the group's members collectively forward
-            // the k blocks of group (grp - b + 1) to the next group.
-            c.mark("ag-kring-inter", b as u32 - 1);
-            let send_idx = blk(pmod(grp as isize - b as isize + 1, g), j);
-            let recv_idx = blk(pmod(grp as isize - b as isize, g), j);
-            let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
-            let got = c.sendrecv(
+            // the k blocks of group (grp - r + 1) to the next group.
+            b.mark("ag-kring-inter", r as u32 - 1);
+            let send_idx = blk(pmod(grp as isize - r as isize + 1, g), j);
+            let recv_idx = blk(pmod(grp as isize - r as isize, g), j);
+            let region = b.alloc(sizes[recv_idx]);
+            b.sendrecv(
                 inter_right,
                 tags::ALLGATHER_KRING_INTER,
-                data,
+                blocks[send_idx].clone(),
                 inter_left,
                 tags::ALLGATHER_KRING_INTER,
-                sizes[recv_idx],
-            )?;
-            out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+                region.clone(),
+            );
+            blocks[recv_idx] = region;
         }
-        // k-1 intra-group rounds circulate group (grp - b)'s blocks.
-        let src_grp = pmod(grp as isize - b as isize, g);
+        // k-1 intra-group rounds circulate group (grp - r)'s blocks.
+        let src_grp = pmod(grp as isize - r as isize, g);
         for t in 0..k.saturating_sub(1) {
-            c.mark("ag-kring-intra", intra_round);
+            b.mark("ag-kring-intra", intra_round);
             intra_round += 1;
             let send_idx = blk(src_grp, pmod(j as isize - t as isize, k));
             let recv_idx = blk(src_grp, pmod(j as isize - t as isize - 1, k));
-            let data = out[off[send_idx]..off[send_idx + 1]].to_vec();
-            let got = c.sendrecv(
+            let region = b.alloc(sizes[recv_idx]);
+            b.sendrecv(
+                intra_right,
+                tags::ALLGATHER_KRING_INTRA,
+                blocks[send_idx].clone(),
+                intra_left,
+                tags::ALLGATHER_KRING_INTRA,
+                region.clone(),
+            );
+            blocks[recv_idx] = region;
+        }
+    }
+    blocks
+}
+
+/// Group index of `rank` when `p` ranks form `g` contiguous near-equal
+/// groups (the exact inverse of [`block_range`] on rank space).
+fn group_of(p: usize, g: usize, rank: usize) -> usize {
+    // rank >= G*p/g  <=>  G <= (rank+1)*g - 1) / p for floor splits; verify
+    // and nudge in case of rounding edge cases so the result is always the
+    // block containing `rank`.
+    let mut grp = (((rank + 1) * g).saturating_sub(1) / p).min(g - 1);
+    loop {
+        let (s, e) = block_range(p, g, grp);
+        if rank < s {
+            grp -= 1;
+        } else if rank >= e {
+            grp += 1;
+        } else {
+            return grp;
+        }
+    }
+}
+
+/// The k-ring allgather generalized to arbitrary `p` and `1 <= k <= p`.
+pub fn allgather_kring_general<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    sizes: &[usize],
+) -> CommResult<Vec<u8>> {
+    let me = c.rank();
+    run_blocks(c, me, input, sizes, |b, own| {
+        build_allgather_kring_general(b, k, own, sizes)
+    })
+}
+
+/// Lower the non-uniform-group k-ring into `b`.
+///
+/// Ranks are split into `g = ceil(p / k)` contiguous near-equal groups
+/// (sizes differ by at most one, [`block_range`] on rank space). The round
+/// structure mirrors the uniform k-ring (Fig. 6): phases of intra-group
+/// circulation punctuated by one inter-group handoff, but blocks travel in
+/// *residue-class bundles*:
+///
+/// * After the inter round of phase `b`, member `j` of a size-`s` group
+///   holds the source group's blocks whose slot index `x` satisfies
+///   `x ≡ j (mod s)`.
+/// * Intra round `t` then forwards the class `(j - t) mod s` bundle to the
+///   right neighbor, so after `s - 1` rounds every member holds every class.
+/// * In the inter round, the left group's member `(j mod s_prev)` — which
+///   owns the full source-group data by then — ships member `j` its whole
+///   bundle in one message.
+///
+/// With `k | p` every bundle is a single block and this reduces to the
+/// paper's schedule round-for-round (tested).
+///
+/// The inter round emits its sends *before* its receive: the engine's
+/// forwarding-hazard flush fires at the first send (the bundles read data
+/// received last phase), and if the receive were already pending that flush
+/// would wait on it before any peer had posted the matching send — a cyclic
+/// deadlock around the group ring.
+pub(crate) fn build_allgather_kring_general(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    let p = b.p();
+    let me = b.rank();
+    assert!(
+        (1..=p).contains(&k),
+        "group size {k} out of range for p={p}"
+    );
+    let mut blocks = vec![SgList::empty(); p];
+    blocks[me] = own;
+    if p == 1 {
+        return blocks;
+    }
+    let g = p.div_ceil(k);
+    let grp = group_of(p, g, me);
+    let (gs, ge) = block_range(p, g, grp); // my group's rank span
+    let s = ge - gs; // my group size
+    let j = me - gs; // my member index
+    let intra_right = gs + (j + 1) % s;
+    let intra_left = gs + (j + s - 1) % s;
+
+    // Span and size of an arbitrary group.
+    let span = |gg: usize| block_range(p, g, gg);
+    // Blocks of source group `src` in residue class `class` modulo the
+    // *receiving* group's size (empty when class >= the source's size).
+    let class_blocks = |src: usize, class: usize, modulus: usize| -> Vec<usize> {
+        let (ss, se) = span(src);
+        (ss..se).filter(|&r| (r - ss) % modulus == class).collect()
+    };
+    // The buffer view of the listed blocks' bytes, in order.
+    let bundle_view = |blocks: &[SgList], bundle: &[usize]| -> SgList {
+        SgList::concat(bundle.iter().map(|&x| &blocks[x]))
+    };
+    // Allocate a fresh region for the bundle and rebind its blocks to it.
+    let rebind = |b: &mut ScheduleBuilder, blocks: &mut [SgList], bundle: &[usize]| -> SgList {
+        let region = b.alloc(bundle.iter().map(|&x| sizes[x]).sum());
+        let mut pos = 0;
+        for &x in bundle {
+            blocks[x] = region.slice(pos, sizes[x]);
+            pos += sizes[x];
+        }
+        region
+    };
+
+    for r in 0..g {
+        let src = pmod(grp as isize - r as isize, g);
+        if r > 0 {
+            // Inter round: serve the right group its bundles of group
+            // `src_right = src + 1` (which I fully own by now), and fetch my
+            // residue-class bundle of group `src` from the left group.
+            // Sends go first — see the doc comment above.
+            let right_grp = (grp + 1) % g;
+            let (rs, re) = span(right_grp);
+            let s_right = re - rs;
+            debug_assert!(s_right > 0);
+            let src_right = pmod(right_grp as isize - r as isize, g);
+            for jr in 0..s_right {
+                if jr % s == j {
+                    let bundle = class_blocks(src_right, jr, s_right);
+                    let data = bundle_view(&blocks, &bundle);
+                    b.send(rs + jr, tags::ALLGATHER_KRING_INTER, data);
+                }
+            }
+            let left_grp = pmod(grp as isize - 1, g);
+            let (ls, le) = span(left_grp);
+            let s_left = le - ls;
+            let sender = ls + j % s_left;
+            let my_bundle = class_blocks(src, j, s);
+            let region = rebind(b, &mut blocks, &my_bundle);
+            b.recv(sender, tags::ALLGATHER_KRING_INTER, region);
+        }
+        // Intra rounds: circulate group `src`'s residue-class bundles.
+        for t in 0..s - 1 {
+            let send_class = pmod(j as isize - t as isize, s);
+            let recv_class = pmod(j as isize - t as isize - 1, s);
+            let send_blocks = class_blocks(src, send_class, s);
+            let recv_blocks = class_blocks(src, recv_class, s);
+            let data = bundle_view(&blocks, &send_blocks);
+            let region = rebind(b, &mut blocks, &recv_blocks);
+            b.sendrecv(
                 intra_right,
                 tags::ALLGATHER_KRING_INTRA,
                 data,
                 intra_left,
                 tags::ALLGATHER_KRING_INTRA,
-                sizes[recv_idx],
-            )?;
-            out[off[recv_idx]..off[recv_idx] + got.len()].copy_from_slice(&got);
+                region,
+            );
         }
     }
-    Ok(out)
+    blocks
 }
 
 /// Recursive multiplying allgather (radix `k`). Any process count: `k`-smooth
@@ -216,144 +436,166 @@ pub fn allgather_recmult<C: Comm>(
     input: &[u8],
     sizes: &[usize],
 ) -> CommResult<Vec<u8>> {
-    assert!(k >= 2, "recursive multiplying radix must be at least 2");
-    let p = c.size();
     let me = c.rank();
+    run_blocks(c, me, input, sizes, |b, own| {
+        build_allgather_recmult(b, k, own, sizes)
+    })
+}
+
+/// Lower recursive multiplying into `b`.
+pub(crate) fn build_allgather_recmult(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    assert!(k >= 2, "recursive multiplying radix must be at least 2");
+    let p = b.p();
+    let me = b.rank();
     if p == 1 {
-        return Ok(input.to_vec());
+        return vec![own];
     }
     let off = prefix_offsets(sizes);
     let total = off[p];
     if let Some(factors) = factorize(p, k) {
-        // Smooth count: blocks are already in rank order within the core.
-        let csizes = sizes.to_vec();
-        return recmult_core(c, me, &factors, input.to_vec(), &csizes);
+        // Smooth count: core blocks are already the rank-order blocks.
+        return build_recmult_core(b, &factors, own, sizes);
     }
     let q = largest_smooth_leq(p, k);
     let factors = factorize(q, k).expect("q is k-smooth by construction");
     if me >= q {
-        // Extra rank: hand our block to the partner, get the full result back.
-        c.send(me - q, tags::FOLD, input.to_vec())?;
-        return c.recv(me - q, tags::FOLD, total);
+        // Extra rank: hand our block to the partner, get the full result
+        // back in rank order.
+        b.send(me - q, tags::FOLD, own);
+        let region = b.alloc(total);
+        b.recv(me - q, tags::FOLD, region.clone());
+        return (0..p).map(|r| region.slice(off[r], sizes[r])).collect();
     }
     // Core rank, possibly absorbing one extra's block.
     let extra = (me + q < p).then_some(me + q);
-    let mut myblock = input.to_vec();
-    if let Some(e) = extra {
-        let got = c.recv(e, tags::FOLD, sizes[e])?;
-        myblock.extend_from_slice(&got);
-    }
+    let myblock = if let Some(e) = extra {
+        let region = b.alloc(sizes[e]);
+        b.recv(e, tags::FOLD, region.clone());
+        SgList::concat([&own, &region])
+    } else {
+        own
+    };
     let csizes: Vec<usize> = (0..q)
         .map(|v| sizes[v] + if v + q < p { sizes[v + q] } else { 0 })
         .collect();
-    let gathered = recmult_core(c, me, &factors, myblock, &csizes)?;
-    // Core layout interleaves [block v, block v+q]; reorder to rank order.
-    let mut out = vec![0u8; total];
-    let mut pos = 0usize;
+    let core = build_recmult_core(b, &factors, myblock, &csizes);
+    // Core block v holds [block v | block v+q]; the views undo the
+    // interleave with zero copies.
+    let mut blocks = vec![SgList::empty(); p];
     for v in 0..q {
-        let len = off[v + 1] - off[v];
-        out[off[v]..off[v + 1]].copy_from_slice(&gathered[pos..pos + len]);
-        pos += len;
+        blocks[v] = core[v].slice(0, sizes[v]);
         if v + q < p {
-            let len2 = off[v + q + 1] - off[v + q];
-            out[off[v + q]..off[v + q + 1]].copy_from_slice(&gathered[pos..pos + len2]);
-            pos += len2;
+            blocks[v + q] = core[v].slice(sizes[v], sizes[v + q]);
         }
     }
     if let Some(e) = extra {
-        c.send(e, tags::FOLD, out.clone())?;
+        b.send(e, tags::FOLD, SgList::concat(&blocks));
     }
-    Ok(out)
+    blocks
 }
 
 /// The mixed-radix exchange rounds over `q = product(factors)` ranks
-/// (`me < q`). After the round with stride `s` and factor `f`, each rank
-/// owns the `s*f`-aligned span containing it.
-fn recmult_core<C: Comm>(
-    c: &mut C,
-    me: usize,
+/// (`rank < q`). After the round with stride `s` and factor `f`, each rank
+/// owns the `s*f`-aligned span containing it. Returns the `q` core-block
+/// views in core-rank order.
+fn build_recmult_core(
+    b: &mut ScheduleBuilder,
     factors: &[usize],
-    myblock: Vec<u8>,
+    own: SgList,
     csizes: &[usize],
-) -> CommResult<Vec<u8>> {
+) -> Vec<SgList> {
     let q: usize = factors.iter().product::<usize>().max(1);
+    let me = b.rank();
     debug_assert!(me < q);
-    let off = prefix_offsets(csizes);
-    let mut out = vec![0u8; off[q]];
-    out[off[me]..off[me] + myblock.len()].copy_from_slice(&myblock);
+    let mut blocks = vec![SgList::empty(); q];
+    blocks[me] = own;
     let mut s = 1usize;
     for (round, &f) in factors.iter().enumerate() {
-        c.mark("ag-recmult", round as u32);
+        b.mark("ag-recmult", round as u32);
         let tag = tags::ALLGATHER_RECMULT + round as u32;
         let d = (me / s) % f;
         let base = me - d * s;
-        let own_lo = (me / (s * f)) * (s * f) + (me / s % f) * s;
-        debug_assert_eq!(own_lo, (me / s) * s);
+        let own_lo = (me / s) * s;
         let own_hi = own_lo + s;
-        let send = out[off[own_lo]..off[own_hi]].to_vec();
-        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
-        let mut recv_reqs: Vec<(Req, usize, usize)> = Vec::with_capacity(f - 1);
+        let send = SgList::concat(&blocks[own_lo..own_hi]);
         for dd in 0..f {
             if dd == d {
                 continue;
             }
             let peer = base + dd * s;
             let peer_lo = (peer / s) * s;
-            let peer_hi = peer_lo + s;
-            send_reqs.push(c.isend(peer, tag, send.clone())?);
-            let bytes = off[peer_hi] - off[peer_lo];
-            let rq = c.irecv(peer, tag, bytes)?;
-            recv_reqs.push((rq, peer_lo, peer_hi));
-        }
-        c.waitall(send_reqs)?;
-        for (rq, lo, _hi) in recv_reqs {
-            let got = c.wait(rq)?.expect("recv yields payload");
-            out[off[lo]..off[lo] + got.len()].copy_from_slice(&got);
+            b.send(peer, tag, send.clone());
+            let region = b.alloc((peer_lo..peer_lo + s).map(|v| csizes[v]).sum());
+            b.recv(peer, tag, region.clone());
+            let mut pos = 0;
+            for v in peer_lo..peer_lo + s {
+                blocks[v] = region.slice(pos, csizes[v]);
+                pos += csizes[v];
+            }
         }
         s *= f;
     }
-    Ok(out)
+    blocks
 }
 
 /// Bruck's allgather: `ceil(log2 p)` rounds with rotated block indexing.
 /// Uniform block sizes only (as in MPICH).
 pub fn allgather_bruck<C: Comm>(c: &mut C, input: &[u8], sizes: &[usize]) -> CommResult<Vec<u8>> {
-    let p = c.size();
     let me = c.rank();
+    run_blocks(c, me, input, sizes, |b, own| {
+        build_allgather_bruck(b, own, sizes)
+    })
+}
+
+/// Lower Bruck's allgather into `b`.
+pub(crate) fn build_allgather_bruck(
+    b: &mut ScheduleBuilder,
+    own: SgList,
+    sizes: &[usize],
+) -> Vec<SgList> {
+    let p = b.p();
+    let me = b.rank();
     let n = uniform_size(sizes).expect("Bruck allgather needs uniform blocks");
     if p == 1 {
-        return Ok(input.to_vec());
+        return vec![own];
     }
     // rot[j] holds block (me + j) mod p.
-    let mut rot = vec![0u8; p * n];
-    rot[..n].copy_from_slice(input);
+    let mut rot = vec![SgList::empty(); p];
+    rot[0] = own;
     let mut pow = 1usize;
     let mut round = 0u32;
     while pow < p {
-        c.mark("ag-bruck", round);
+        b.mark("ag-bruck", round);
         let m = pow.min(p - pow);
-        let send = rot[..m * n].to_vec();
+        let send = SgList::concat(&rot[..m]);
         let dst = pmod(me as isize - pow as isize, p);
         let src = pmod(me as isize + pow as isize, p);
-        let got = c.sendrecv(
+        let region = b.alloc(m * n);
+        b.sendrecv(
             dst,
             tags::ALLGATHER_BRUCK + round,
             send,
             src,
             tags::ALLGATHER_BRUCK + round,
-            m * n,
-        )?;
-        rot[pow * n..(pow + m) * n].copy_from_slice(&got);
+            region.clone(),
+        );
+        for (j, slot) in rot[pow..pow + m].iter_mut().enumerate() {
+            *slot = region.slice(j * n, n);
+        }
         pow *= 2;
         round += 1;
     }
-    // Unrotate into rank order.
-    let mut out = vec![0u8; p * n];
-    for j in 0..p {
-        let r = (me + j) % p;
-        out[r * n..(r + 1) * n].copy_from_slice(&rot[j * n..(j + 1) * n]);
+    // Unrotate into rank order — pure view bookkeeping.
+    let mut blocks = vec![SgList::empty(); p];
+    for (j, slot) in rot.into_iter().enumerate() {
+        blocks[(me + j) % p] = slot;
     }
-    Ok(out)
+    blocks
 }
 
 #[cfg(test)]
@@ -541,6 +783,87 @@ mod tests {
             AllgatherKernel::Bruck,
         ] {
             check_uniform(kernel, 4, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod kring_general_tests {
+    use super::*;
+    use exacoll_comm::run_ranks;
+
+    fn rank_block(rank: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (rank * 37 + i + 1) as u8).collect()
+    }
+
+    fn check(p: usize, k: usize, sizes: &[usize]) {
+        let expect: Vec<u8> = (0..p).flat_map(|r| rank_block(r, sizes[r])).collect();
+        let sizes_owned = sizes.to_vec();
+        let out = run_ranks(p, |c| {
+            let mine = rank_block(c.rank(), sizes_owned[c.rank()]);
+            allgather_kring_general(c, k, &mine, &sizes_owned)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "p={p} k={k} rank={r}");
+        }
+    }
+
+    #[test]
+    fn group_of_is_blockrange_inverse() {
+        for p in [5usize, 7, 12, 13, 100] {
+            for g in 1..=p {
+                for r in 0..p {
+                    let grp = group_of(p, g, r);
+                    let (s, e) = block_range(p, g, grp);
+                    assert!(s <= r && r < e, "p={p} g={g} r={r} -> {grp} [{s},{e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_groups_still_work() {
+        for (p, k) in [(6usize, 3usize), (8, 4), (12, 2), (9, 3)] {
+            check(p, k, &vec![5; p]);
+        }
+    }
+
+    #[test]
+    fn non_divisible_group_sizes() {
+        // The §VI-A corner cases: k does not divide p.
+        for (p, k) in [
+            (7usize, 3usize),
+            (7, 2),
+            (10, 3),
+            (11, 4),
+            (13, 5),
+            (9, 2),
+            (17, 8),
+            (5, 4),
+        ] {
+            check(p, k, &vec![4; p]);
+        }
+    }
+
+    #[test]
+    fn extreme_group_sizes() {
+        check(7, 1, &[3; 7]); // all singleton groups = ring
+        check(7, 7, &[3; 7]); // one group = pure intra ring
+        check(7, 6, &[3; 7]); // group sizes 4 and 3
+    }
+
+    #[test]
+    fn ragged_block_sizes_with_ragged_groups() {
+        check(7, 3, &[3, 0, 5, 1, 4, 2, 6]);
+        check(10, 4, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn proptest_style_sweep() {
+        for p in 2..=14usize {
+            for k in 1..=p {
+                check(p, k, &vec![2; p]);
+            }
         }
     }
 }

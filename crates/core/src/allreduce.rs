@@ -13,14 +13,200 @@
 //!   which can also leverage the MPI_Allgather k-ring algorithm", §VI-C).
 //! * [`allreduce_reduce_bcast`] — k-nomial reduce + k-nomial bcast, the
 //!   composite of Eq. (2)/(3).
+//!
+//! Composites are composed at the *schedule* level: each phase's builder
+//! appends its steps to the same plan, and the engine's round-mark flushes
+//! sequence the phases exactly as the blocking calls used to.
 
-use crate::allgather::{allgather_kernel, AllgatherKernel};
-use crate::bcast::bcast_knomial;
-use crate::reduce::reduce_knomial;
-use crate::reduce_scatter::{elem_block_sizes, reduce_scatter_ring};
+use crate::allgather::{build_allgather_kernel, AllgatherKernel};
+use crate::bcast::build_bcast_knomial;
+use crate::reduce::build_reduce_knomial;
+use crate::reduce_scatter::{build_reduce_scatter_ring, elem_block_sizes};
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::{factorize, largest_smooth_leq};
-use exacoll_comm::{reduce_into, Comm, CommResult, DType, ReduceOp, Req};
+use exacoll_comm::{Comm, CommResult, DType, ReduceOp};
+
+/// Lower the recursive multiplying allreduce over a subgroup into `b`:
+/// `gsize` participants with group indices `0..gsize`, mapped to global
+/// ranks by `map`. Accumulates in place into `own`; returns the result view.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_allreduce_recmult_mapped(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    gsize: usize,
+    gidx: usize,
+    map: impl Fn(usize) -> usize,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> SgList {
+    assert!(k >= 2, "recursive multiplying radix must be at least 2");
+    debug_assert!(gidx < gsize);
+    let n = own.len();
+    if gsize == 1 {
+        return own;
+    }
+    let q = if factorize(gsize, k).is_some() {
+        gsize
+    } else {
+        largest_smooth_leq(gsize, k)
+    };
+    // Fold: extras hand their vector to a partner and wait for the result.
+    if gidx >= q {
+        b.mark("ar-fold", 0);
+        b.send(map(gidx - q), tags::FOLD, own);
+        let region = b.alloc(n);
+        b.recv(map(gidx - q), tags::FOLD, region.clone());
+        return region;
+    }
+    if gidx + q < gsize {
+        b.mark("ar-fold", 0);
+        let region = b.alloc(n);
+        b.recv(map(gidx + q), tags::FOLD, region.clone());
+        b.reduce(dtype, op, region, own.clone());
+    }
+    // Mixed-radix exchange rounds among the q core members.
+    let factors = factorize(q, k).expect("q is k-smooth");
+    let mut acc = own;
+    let mut s = 1usize;
+    for (round, &f) in factors.iter().enumerate() {
+        b.mark("ar-recmult", round as u32);
+        let tag = tags::ALLREDUCE_RECMULT + round as u32;
+        let d = (gidx / s) % f;
+        let base = gidx - d * s;
+        let mut regions: Vec<(usize, SgList)> = Vec::with_capacity(f - 1);
+        for dd in 0..f {
+            if dd == d {
+                continue;
+            }
+            let peer = map(base + dd * s);
+            b.send(peer, tag, acc.clone());
+            let region = b.alloc(n);
+            b.recv(peer, tag, region.clone());
+            regions.push((dd, region));
+        }
+        // Fold all group members' vectors in ascending group position so
+        // every member computes the bitwise-identical result: the position-0
+        // vector is the accumulator, the rest fold in ascending order.
+        let mut it = regions.into_iter();
+        let mut folded: Option<SgList> = None;
+        for dd in 0..f {
+            let buf = if dd == d {
+                acc.clone()
+            } else {
+                it.next().expect("one contribution per partner").1
+            };
+            match &folded {
+                None => folded = Some(buf),
+                Some(a) => b.reduce(dtype, op, buf, a.clone()),
+            }
+        }
+        acc = folded.expect("group nonempty");
+        s *= f;
+    }
+    // Unfold: return the result to the absorbed extra.
+    if gidx + q < gsize {
+        b.send(map(gidx + q), tags::FOLD, acc.clone());
+    }
+    acc
+}
+
+/// Lower the hierarchical (SMP-aware) allreduce into `b` (see
+/// [`allreduce_hierarchical`]).
+pub(crate) fn build_allreduce_hierarchical(
+    b: &mut ScheduleBuilder,
+    ppn: usize,
+    k: usize,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    let n = own.len();
+    assert!(ppn >= 1, "processes per node must be at least 1");
+    assert!(
+        p.is_multiple_of(ppn),
+        "hierarchical allreduce needs ppn ({ppn}) to divide p ({p})"
+    );
+    let leader = me / ppn * ppn;
+    let nodes = p / ppn;
+    if me != leader {
+        // Phase 1: contribute to the node leader; phase 3: await result.
+        b.mark("hier-reduce", 0);
+        b.send(leader, tags::HIER_REDUCE, own);
+        b.mark("hier-bcast", 0);
+        let region = b.alloc(n);
+        b.recv(leader, tags::HIER_BCAST, region.clone());
+        return region;
+    }
+    // Leader: absorb the node's contributions in ascending rank order.
+    b.mark("hier-reduce", 0);
+    let regions: Vec<SgList> = (leader + 1..leader + ppn)
+        .map(|r| {
+            let region = b.alloc(n);
+            b.recv(r, tags::HIER_REDUCE, region.clone());
+            region
+        })
+        .collect();
+    for region in regions {
+        b.reduce(dtype, op, region, own.clone());
+    }
+    // Phase 2: recursive multiplying among the node leaders.
+    b.mark("hier-leaders", 0);
+    let acc = build_allreduce_recmult_mapped(b, k, nodes, me / ppn, |l| l * ppn, own, dtype, op);
+    // Phase 3: flat intranode broadcast.
+    b.mark("hier-bcast", 0);
+    for r in leader + 1..leader + ppn {
+        b.send(r, tags::HIER_BCAST, acc.clone());
+    }
+    acc
+}
+
+/// Lower the reduce-scatter + allgather allreduce into `b`.
+pub(crate) fn build_allreduce_rsag(
+    b: &mut ScheduleBuilder,
+    kernel: AllgatherKernel,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> SgList {
+    let p = b.p();
+    let n = own.len();
+    if p == 1 {
+        return own;
+    }
+    let mine = build_reduce_scatter_ring(b, own, dtype, op);
+    let sizes = elem_block_sizes(n, dtype.size(), p);
+    let blocks = build_allgather_kernel(b, kernel, mine, &sizes);
+    SgList::concat(&blocks)
+}
+
+/// Lower the k-nomial reduce + k-nomial bcast composite into `b`.
+pub(crate) fn build_allreduce_reduce_bcast(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> SgList {
+    let n = own.len();
+    let reduced = build_reduce_knomial(b, k, 0, own, dtype, op);
+    build_bcast_knomial(b, k, 0, reduced, n)
+}
+
+fn run<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    build: impl FnOnce(&mut ScheduleBuilder, SgList) -> SgList,
+) -> CommResult<Vec<u8>> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(input.len());
+    let out = build(&mut b, own.clone());
+    let schedule = b.finish(own, out);
+    execute_schedule(c, &schedule, input)
+}
 
 /// Recursive multiplying allreduce with radix `k`. Every rank contributes
 /// `input` and receives the full elementwise reduction.
@@ -50,71 +236,9 @@ pub fn allreduce_recmult_mapped<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Vec<u8>> {
-    assert!(k >= 2, "recursive multiplying radix must be at least 2");
-    debug_assert!(gidx < gsize);
-    let n = input.len();
-    let mut acc = input.to_vec();
-    if gsize == 1 {
-        return Ok(acc);
-    }
-    let q = if factorize(gsize, k).is_some() {
-        gsize
-    } else {
-        largest_smooth_leq(gsize, k)
-    };
-    // Fold: extras hand their vector to a partner and wait for the result.
-    if gidx >= q {
-        c.mark("ar-fold", 0);
-        c.send(map(gidx - q), tags::FOLD, acc)?;
-        return c.recv(map(gidx - q), tags::FOLD, n);
-    }
-    if gidx + q < gsize {
-        c.mark("ar-fold", 0);
-        let got = c.recv(map(gidx + q), tags::FOLD, n)?;
-        reduce_into(dtype, op, &mut acc, &got)?;
-        c.compute(n);
-    }
-    // Mixed-radix exchange rounds among the q core members.
-    let factors = factorize(q, k).expect("q is k-smooth");
-    let mut s = 1usize;
-    for (round, &f) in factors.iter().enumerate() {
-        c.mark("ar-recmult", round as u32);
-        let tag = tags::ALLREDUCE_RECMULT + round as u32;
-        let d = (gidx / s) % f;
-        let base = gidx - d * s;
-        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
-        let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(f - 1);
-        for dd in 0..f {
-            if dd == d {
-                continue;
-            }
-            let peer = map(base + dd * s);
-            send_reqs.push(c.isend(peer, tag, acc.clone())?);
-            recv_reqs.push((dd, c.irecv(peer, tag, n)?));
-        }
-        c.waitall(send_reqs)?;
-        // Fold all group members' vectors in ascending group position so
-        // every member computes the bitwise-identical result.
-        let mut contributions: Vec<(usize, Vec<u8>)> = Vec::with_capacity(f);
-        contributions.push((d, std::mem::take(&mut acc)));
-        for (dd, rq) in recv_reqs {
-            contributions.push((dd, c.wait(rq)?.expect("recv yields payload")));
-        }
-        contributions.sort_by_key(|(dd, _)| *dd);
-        let mut it = contributions.into_iter();
-        let (_, mut folded) = it.next().expect("group nonempty");
-        for (_, buf) in it {
-            reduce_into(dtype, op, &mut folded, &buf)?;
-            c.compute(n);
-        }
-        acc = folded;
-        s *= f;
-    }
-    // Unfold: return the result to the absorbed extra.
-    if gidx + q < gsize {
-        c.send(map(gidx + q), tags::FOLD, acc.clone())?;
-    }
-    Ok(acc)
+    run(c, input, |b, own| {
+        build_allreduce_recmult_mapped(b, k, gsize, gidx, map, own, dtype, op)
+    })
 }
 
 /// Hierarchical (SMP-aware) allreduce, the Hasanov-style structure the
@@ -130,43 +254,9 @@ pub fn allreduce_hierarchical<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
-    assert!(ppn >= 1, "processes per node must be at least 1");
-    assert!(
-        p.is_multiple_of(ppn),
-        "hierarchical allreduce needs ppn ({ppn}) to divide p ({p})"
-    );
-    let leader = me / ppn * ppn;
-    let nodes = p / ppn;
-    let mut acc = input.to_vec();
-    if me != leader {
-        // Phase 1: contribute to the node leader; phase 3: await result.
-        c.mark("hier-reduce", 0);
-        c.send(leader, tags::HIER_REDUCE, acc)?;
-        c.mark("hier-bcast", 0);
-        return c.recv(leader, tags::HIER_BCAST, n);
-    }
-    // Leader: absorb the node's contributions in ascending rank order.
-    c.mark("hier-reduce", 0);
-    let reqs: Vec<Req> = (leader + 1..leader + ppn)
-        .map(|r| c.irecv(r, tags::HIER_REDUCE, n))
-        .collect::<CommResult<_>>()?;
-    for got in c.waitall(reqs)? {
-        reduce_into(dtype, op, &mut acc, &got.expect("payload"))?;
-        c.compute(n);
-    }
-    // Phase 2: recursive multiplying among the node leaders.
-    c.mark("hier-leaders", 0);
-    acc = allreduce_recmult_mapped(c, k, nodes, me / ppn, |l| l * ppn, &acc, dtype, op)?;
-    // Phase 3: flat intranode broadcast.
-    c.mark("hier-bcast", 0);
-    let reqs: Vec<Req> = (leader + 1..leader + ppn)
-        .map(|r| c.isend(r, tags::HIER_BCAST, acc.clone()))
-        .collect::<CommResult<_>>()?;
-    c.waitall(reqs)?;
-    Ok(acc)
+    run(c, input, |b, own| {
+        build_allreduce_hierarchical(b, ppn, k, own, dtype, op)
+    })
 }
 
 /// Reduce-scatter + allgather allreduce. The reduce-scatter is the ring
@@ -180,14 +270,9 @@ pub fn allreduce_rsag<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let n = input.len();
-    if p == 1 {
-        return Ok(input.to_vec());
-    }
-    let mine = reduce_scatter_ring(c, input, dtype, op)?;
-    let sizes = elem_block_sizes(n, dtype.size(), p);
-    allgather_kernel(c, kernel, &mine, &sizes)
+    run(c, input, |b, own| {
+        build_allreduce_rsag(b, kernel, own, dtype, op)
+    })
 }
 
 /// K-nomial reduce to rank 0 followed by k-nomial broadcast.
@@ -198,9 +283,9 @@ pub fn allreduce_reduce_bcast<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Vec<u8>> {
-    let n = input.len();
-    let reduced = reduce_knomial(c, k, 0, input, dtype, op)?;
-    bcast_knomial(c, k, 0, reduced.as_deref(), n)
+    run(c, input, |b, own| {
+        build_allreduce_reduce_bcast(b, k, own, dtype, op)
+    })
 }
 
 #[cfg(test)]

@@ -19,14 +19,15 @@
 //! Data layout: every rank contributes `p` blocks of `n` bytes (`input`
 //! is `p·n` long); block `j` is destined to rank `j`. The output is the
 //! received blocks in source-rank order.
+//!
+//! The Bruck rotation and unrotation phases are pure buffer-view
+//! permutations in the lowered plan: no copy steps, only scatter-gather
+//! lists that index the right blocks.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
+use crate::tags;
 use crate::util::pmod;
-use exacoll_comm::{Comm, CommResult, Req};
-
-/// Tag bases (kept local: alltoall is an extension family).
-const TAG_PAIRWISE: u32 = 0x0d00;
-const TAG_SPREAD: u32 = 0x0d10;
-const TAG_BRUCK: u32 = 0x0d20;
+use exacoll_comm::{Comm, CommResult};
 
 fn block_count(c: &impl Comm, input: &[u8]) -> usize {
     let p = c.size();
@@ -37,77 +38,76 @@ fn block_count(c: &impl Comm, input: &[u8]) -> usize {
     input.len() / p
 }
 
-/// Pairwise-exchange alltoall: round `i` sends block `(me+i) mod p` to that
-/// rank and receives from `(me-i) mod p`.
-pub fn alltoall_pairwise<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = block_count(c, input);
-    let mut out = vec![0u8; p * n];
-    out[me * n..(me + 1) * n].copy_from_slice(&input[me * n..(me + 1) * n]);
+/// Lower a pairwise-exchange alltoall into `b`: `own` is `p` blocks of `n`
+/// bytes. Returns the output view in source-rank order.
+pub(crate) fn build_alltoall_pairwise(b: &mut ScheduleBuilder, own: SgList, n: usize) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    let mut blocks: Vec<SgList> = (0..p).map(|j| own.slice(j * n, n)).collect();
     for i in 1..p {
-        c.mark("a2a-pairwise", i as u32 - 1);
+        b.mark("a2a-pairwise", i as u32 - 1);
         let to = (me + i) % p;
         let from = pmod(me as isize - i as isize, p);
-        let got = c.sendrecv(
+        let region = b.alloc(n);
+        b.sendrecv(
             to,
-            TAG_PAIRWISE,
-            input[to * n..(to + 1) * n].to_vec(),
+            tags::ALLTOALL_PAIRWISE,
+            own.slice(to * n, n),
             from,
-            TAG_PAIRWISE,
-            n,
-        )?;
-        out[from * n..from * n + got.len()].copy_from_slice(&got);
+            tags::ALLTOALL_PAIRWISE,
+            region.clone(),
+        );
+        blocks[from] = region;
     }
-    Ok(out)
+    SgList::concat(&blocks)
 }
 
-/// Spread-out alltoall: post everything non-blocking, wait once.
-pub fn alltoall_spread<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = block_count(c, input);
-    let mut out = vec![0u8; p * n];
-    out[me * n..(me + 1) * n].copy_from_slice(&input[me * n..(me + 1) * n]);
-    let mut send_reqs: Vec<Req> = Vec::with_capacity(p - 1);
-    let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(p - 1);
+/// Lower a spread-out alltoall into `b`: everything posts up front and the
+/// engine's single final flush waits for it all.
+pub(crate) fn build_alltoall_spread(b: &mut ScheduleBuilder, own: SgList, n: usize) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    let mut blocks: Vec<SgList> = (0..p).map(|j| own.slice(j * n, n)).collect();
     // MPICH staggers peers by rank to avoid hot receivers.
     for i in 1..p {
         let to = (me + i) % p;
         let from = pmod(me as isize - i as isize, p);
-        send_reqs.push(c.isend(to, TAG_SPREAD, input[to * n..(to + 1) * n].to_vec())?);
-        recv_reqs.push((from, c.irecv(from, TAG_SPREAD, n)?));
+        b.send(to, tags::ALLTOALL_SPREAD, own.slice(to * n, n));
+        let region = b.alloc(n);
+        b.recv(from, tags::ALLTOALL_SPREAD, region.clone());
+        blocks[from] = region;
     }
-    c.waitall(send_reqs)?;
-    for (from, rq) in recv_reqs {
-        let got = c.wait(rq)?.expect("recv yields payload");
-        out[from * n..from * n + got.len()].copy_from_slice(&got);
-    }
-    Ok(out)
+    SgList::concat(&blocks)
 }
 
-/// Radix-`r` Bruck alltoall.
+/// Lower a radix-`r` Bruck alltoall into `b`.
 ///
 /// Phase 1 rotates block `dest` to index `j = (dest - me) mod p` ("distance
-/// still to travel"). Phase 2 processes `j` digit-by-digit in base `r`:
-/// for digit position `d` with value `v ≥ 1`, every block whose `d`-th
-/// digit is `v` hops `v·r^d` ranks forward in one bundled message. After
-/// all digits, index `j` holds the block *from* rank `(me - j) mod p`
-/// destined to me; phase 3 reorders to source order.
-pub fn alltoall_bruck<C: Comm>(c: &mut C, r: usize, input: &[u8]) -> CommResult<Vec<u8>> {
+/// still to travel") — a pure view permutation. Phase 2 processes `j`
+/// digit-by-digit in base `r`: for digit position `d` with value `v ≥ 1`,
+/// every block whose `d`-th digit is `v` hops `v·r^d` ranks forward in one
+/// bundled message. After all digits, index `j` holds the block *from* rank
+/// `(me - j) mod p` destined to me; phase 3 reorders to source order,
+/// again as views.
+pub(crate) fn build_alltoall_bruck(
+    b: &mut ScheduleBuilder,
+    r: usize,
+    own: SgList,
+    n: usize,
+) -> SgList {
     assert!(r >= 2, "Bruck radix must be at least 2");
-    let p = c.size();
-    let me = c.rank();
-    let n = block_count(c, input);
+    let p = b.p();
+    let me = b.rank();
     if p == 1 {
-        return Ok(input.to_vec());
+        return own;
     }
-    // Phase 1: rotate.
-    let mut buf = vec![0u8; p * n];
-    for j in 0..p {
-        let dest = (me + j) % p;
-        buf[j * n..(j + 1) * n].copy_from_slice(&input[dest * n..(dest + 1) * n]);
-    }
+    // Phase 1: rotate (views only).
+    let mut buf: Vec<SgList> = (0..p)
+        .map(|j| {
+            let dest = (me + j) % p;
+            own.slice(dest * n, n)
+        })
+        .collect();
     // Phase 2: digit rounds.
     let mut stride = 1usize; // r^d
     let mut round = 0u32;
@@ -121,29 +121,56 @@ pub fn alltoall_bruck<C: Comm>(c: &mut C, r: usize, input: &[u8]) -> CommResult<
             if indices.is_empty() {
                 continue;
             }
-            c.mark("a2a-bruck", round);
-            let tag = TAG_BRUCK + round;
-            let mut bundle = Vec::with_capacity(indices.len() * n);
-            for &j in &indices {
-                bundle.extend_from_slice(&buf[j * n..(j + 1) * n]);
-            }
+            b.mark("a2a-bruck", round);
+            let tag = tags::ALLTOALL_BRUCK + round;
+            let bundle = SgList::concat(indices.iter().map(|&j| &buf[j]));
             let to = (me + hop) % p;
             let from = pmod(me as isize - hop as isize, p);
-            let got = c.sendrecv(to, tag, bundle, from, tag, indices.len() * n)?;
+            let region = b.alloc(indices.len() * n);
+            b.sendrecv(to, tag, bundle, from, tag, region.clone());
             for (slot, &j) in indices.iter().enumerate() {
-                buf[j * n..(j + 1) * n].copy_from_slice(&got[slot * n..(slot + 1) * n]);
+                buf[j] = region.slice(slot * n, n);
             }
             round += 1;
         }
         stride *= r;
     }
     // Phase 3: index j holds the block from rank (me - j) mod p.
-    let mut out = vec![0u8; p * n];
-    for j in 0..p {
-        let src = pmod(me as isize - j as isize, p);
-        out[src * n..(src + 1) * n].copy_from_slice(&buf[j * n..(j + 1) * n]);
+    let mut out: Vec<SgList> = vec![SgList::empty(); p];
+    for (j, view) in buf.into_iter().enumerate() {
+        out[pmod(me as isize - j as isize, p)] = view;
     }
-    Ok(out)
+    SgList::concat(&out)
+}
+
+fn run<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    build: impl FnOnce(&mut ScheduleBuilder, SgList, usize) -> SgList,
+) -> CommResult<Vec<u8>> {
+    let n = block_count(c, input);
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(input.len());
+    let out = build(&mut b, own.clone(), n);
+    let schedule = b.finish(own, out);
+    execute_schedule(c, &schedule, input)
+}
+
+/// Pairwise-exchange alltoall: round `i` sends block `(me+i) mod p` to that
+/// rank and receives from `(me-i) mod p`.
+pub fn alltoall_pairwise<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
+    run(c, input, build_alltoall_pairwise)
+}
+
+/// Spread-out alltoall: post everything non-blocking, wait once.
+pub fn alltoall_spread<C: Comm>(c: &mut C, input: &[u8]) -> CommResult<Vec<u8>> {
+    run(c, input, build_alltoall_spread)
+}
+
+/// Radix-`r` Bruck alltoall; see [`build_alltoall_bruck`] for the phase
+/// structure. `r = 2` is Bruck's classic algorithm.
+pub fn alltoall_bruck<C: Comm>(c: &mut C, r: usize, input: &[u8]) -> CommResult<Vec<u8>> {
+    run(c, input, |b, own, n| build_alltoall_bruck(b, r, own, n))
 }
 
 /// Number of communication rounds radix-`r` Bruck uses for `p` ranks.

@@ -8,28 +8,26 @@
 //! `ceil(log_k p)` rounds instead of `ceil(log_2 p)`.
 //!
 //! Barrier messages are empty; only the synchronization structure matters.
+//! The lowering emits zero-byte sends and receives, and the engine's
+//! round-mark flush yields exactly one wait per round.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
-use exacoll_comm::{Comm, CommResult, Req};
+use exacoll_comm::{Comm, CommResult};
 
-/// Tag base for barrier rounds.
-const BARRIER_TAG: u32 = tags::BARRIER;
-
-/// K-dissemination barrier: returns only after every rank has entered.
-/// `k = 2` is the classic dissemination barrier.
-pub fn barrier_dissemination<C: Comm>(c: &mut C, k: usize) -> CommResult<()> {
+/// Lower a radix-`k` dissemination barrier into `b`.
+pub(crate) fn build_barrier_dissemination(b: &mut ScheduleBuilder, k: usize) {
     assert!(k >= 2, "dissemination radix must be at least 2");
-    let p = c.size();
-    let me = c.rank();
+    let p = b.p();
+    let me = b.rank();
     if p == 1 {
-        return Ok(());
+        return;
     }
     let mut stride = 1usize;
     let mut round = 0u32;
     while stride < p {
-        c.mark("bar-dissem", round);
-        let tag = BARRIER_TAG + round;
-        let mut reqs: Vec<Req> = Vec::with_capacity(2 * (k - 1));
+        b.mark("bar-dissem", round);
+        let tag = tags::BARRIER + round;
         for j in 1..k {
             let dist = j * stride;
             if dist >= p {
@@ -37,13 +35,21 @@ pub fn barrier_dissemination<C: Comm>(c: &mut C, k: usize) -> CommResult<()> {
             }
             let to = (me + dist) % p;
             let from = (me + p - dist % p) % p;
-            reqs.push(c.isend(to, tag, Vec::new())?);
-            reqs.push(c.irecv(from, tag, 0)?);
+            b.send(to, tag, SgList::empty());
+            b.recv(from, tag, SgList::empty());
         }
-        c.waitall(reqs)?;
         stride *= k;
         round += 1;
     }
+}
+
+/// K-dissemination barrier: returns only after every rank has entered.
+/// `k = 2` is the classic dissemination barrier.
+pub fn barrier_dissemination<C: Comm>(c: &mut C, k: usize) -> CommResult<()> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    build_barrier_dissemination(&mut b, k);
+    let schedule = b.finish(SgList::empty(), SgList::empty());
+    execute_schedule(c, &schedule, &[])?;
     Ok(())
 }
 

@@ -9,13 +9,106 @@
 //!   or recursive multiplying), exactly how MPICH composes its large
 //!   broadcast and how the paper's k-ring and recursive-multiplying
 //!   broadcasts are built.
+//!
+//! Each variant is a schedule *builder*: lowering appends [`crate::schedule`]
+//! steps, and the thin public wrappers run the result through the generic
+//! engine.
 
-use crate::allgather::{self, AllgatherKernel};
-use crate::scatter::scatter_knomial;
+use crate::allgather::{build_allgather_kernel, AllgatherKernel};
+use crate::scatter::build_scatter_knomial;
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::KnomialTree;
 use crate::util::block_len;
-use exacoll_comm::{Comm, CommResult, Rank, Req};
+use exacoll_comm::{Comm, CommResult, Rank};
+
+/// Lower a k-nomial broadcast into `b`. `data` must be `Some` at the root;
+/// returns the full-payload view every rank ends up holding.
+pub(crate) fn build_bcast_knomial(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    root: Rank,
+    data: Option<SgList>,
+    n: usize,
+) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    if p == 1 {
+        return data.expect("root provides data");
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank receives its data (0 at the root).
+    b.mark("bc-knomial", (t.depth() - t.level(v)) as u32);
+    let data = if v == 0 {
+        data.expect("root provides data")
+    } else {
+        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
+        let region = b.alloc(n);
+        b.recv(parent, tags::BCAST_TREE, region.clone());
+        region
+    };
+    // Deepest-subtree children first; all sends overlap via buffering.
+    for ch in t.children(v) {
+        b.send(t.unvrank(ch, root), tags::BCAST_TREE, data.clone());
+    }
+    data
+}
+
+/// Lower a linear broadcast into `b`.
+pub(crate) fn build_bcast_linear(
+    b: &mut ScheduleBuilder,
+    root: Rank,
+    data: Option<SgList>,
+    n: usize,
+) -> SgList {
+    let p = b.p();
+    if b.rank() == root {
+        let data = data.expect("root provides data");
+        for r in (0..p).filter(|&r| r != root) {
+            b.send(r, tags::BCAST_LINEAR, data.clone());
+        }
+        data
+    } else {
+        let region = b.alloc(n);
+        b.recv(root, tags::BCAST_LINEAR, region.clone());
+        region
+    }
+}
+
+/// Lower a scatter-allgather broadcast into `b`: binomial scatter of
+/// near-equal blocks, then the chosen allgather kernel reassembles the
+/// payload everywhere.
+pub(crate) fn build_bcast_scatter_allgather(
+    b: &mut ScheduleBuilder,
+    kernel: AllgatherKernel,
+    root: Rank,
+    data: Option<SgList>,
+    n: usize,
+) -> SgList {
+    let p = b.p();
+    if p == 1 {
+        return data.expect("root provides data");
+    }
+    b.mark("bc-scatter", 0);
+    let my_block = build_scatter_knomial(b, 2, root, data, n);
+    let sizes: Vec<usize> = (0..p).map(|i| block_len(n, p, i)).collect();
+    let blocks = build_allgather_kernel(b, kernel, my_block, &sizes);
+    SgList::concat(&blocks)
+}
+
+fn run<C: Comm>(
+    c: &mut C,
+    input: Option<&[u8]>,
+    build: impl FnOnce(&mut ScheduleBuilder, Option<SgList>) -> SgList,
+) -> CommResult<Vec<u8>> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let data = input.map(|d| b.alloc(d.len()));
+    let out = build(&mut b, data.clone());
+    let schedule = b.finish(data.unwrap_or_default(), out);
+    execute_schedule(c, &schedule, input.unwrap_or(&[]))
+}
 
 /// K-nomial tree broadcast. `input` must be `Some` at the root; every rank
 /// receives the full payload of `n` bytes.
@@ -26,30 +119,7 @@ pub fn bcast_knomial<C: Comm>(
     input: Option<&[u8]>,
     n: usize,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    if p == 1 {
-        return Ok(input.expect("root provides data").to_vec());
-    }
-    let t = KnomialTree::new(p, k);
-    let v = t.vrank(me, root);
-    // Round index = distance from the root's level: the tree round in which
-    // this rank receives its data (0 at the root).
-    c.mark("bc-knomial", (t.depth() - t.level(v)) as u32);
-    let data = if v == 0 {
-        input.expect("root provides data").to_vec()
-    } else {
-        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
-        c.recv(parent, tags::BCAST_TREE, n)?
-    };
-    // Deepest-subtree children first; all sends overlap via buffering.
-    let reqs: Vec<Req> = t
-        .children(v)
-        .into_iter()
-        .map(|ch| c.isend(t.unvrank(ch, root), tags::BCAST_TREE, data.clone()))
-        .collect::<CommResult<_>>()?;
-    c.waitall(reqs)?;
-    Ok(data)
+    run(c, input, |b, data| build_bcast_knomial(b, k, root, data, n))
 }
 
 /// Naïve linear broadcast: the root sends the payload to every other rank.
@@ -59,19 +129,7 @@ pub fn bcast_linear<C: Comm>(
     input: Option<&[u8]>,
     n: usize,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    if me == root {
-        let data = input.expect("root provides data").to_vec();
-        let reqs: Vec<Req> = (0..p)
-            .filter(|&r| r != root)
-            .map(|r| c.isend(r, tags::BCAST_LINEAR, data.clone()))
-            .collect::<CommResult<_>>()?;
-        c.waitall(reqs)?;
-        Ok(data)
-    } else {
-        c.recv(root, tags::BCAST_LINEAR, n)
-    }
+    run(c, input, |b, data| build_bcast_linear(b, root, data, n))
 }
 
 /// Scatter-allgather broadcast: binomial scatter of near-equal blocks, then
@@ -83,14 +141,9 @@ pub fn bcast_scatter_allgather<C: Comm>(
     input: Option<&[u8]>,
     n: usize,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    if p == 1 {
-        return Ok(input.expect("root provides data").to_vec());
-    }
-    c.mark("bc-scatter", 0);
-    let my_block = scatter_knomial(c, 2, root, input, n)?;
-    let sizes: Vec<usize> = (0..p).map(|i| block_len(n, p, i)).collect();
-    allgather::allgather_kernel(c, kernel, &my_block, &sizes)
+    run(c, input, |b, data| {
+        build_bcast_scatter_allgather(b, kernel, root, data, n)
+    })
 }
 
 #[cfg(test)]

@@ -3,11 +3,59 @@
 //! Fig. 1 of the paper illustrates gather on the binomial tree; the k-nomial
 //! generalization uses the fact that the subtree rooted at vrank `v` covers
 //! the *contiguous* vrank range `[v, v + subtree_size(v))`, so every internal
-//! node forwards a single contiguous buffer to its parent.
+//! node forwards a single contiguous buffer to its parent. The root's final
+//! vrank→rank unrotation is pure bookkeeping: the schedule's output view
+//! lists the received regions in rank order, no copy happens.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::KnomialTree;
-use exacoll_comm::{Comm, CommResult, Rank, Req};
+use exacoll_comm::{Comm, CommResult, Rank};
+
+/// Lower a k-nomial gather into `b`. `own` is this rank's uniform-size
+/// block; the root gets the concatenation in rank order, others `None`.
+pub(crate) fn build_gather_knomial(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    root: Rank,
+    own: SgList,
+) -> Option<SgList> {
+    let p = b.p();
+    let me = b.rank();
+    let n = own.len();
+    if p == 1 {
+        return Some(own);
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank's subtree payload arrives at its parent (0 at the root).
+    b.mark("gat-knomial", (t.depth() - t.level(v)) as u32);
+    let span = t.subtree_size(v);
+    // seg[x] is the region holding vrank v + x's block.
+    let mut seg: Vec<SgList> = vec![SgList::empty(); span];
+    seg[0] = own;
+    for ch in t.children(v) {
+        let sub = t.subtree_size(ch);
+        let region = b.alloc(sub * n);
+        b.recv(t.unvrank(ch, root), tags::GATHER_TREE, region.clone());
+        for i in 0..sub {
+            seg[ch - v + i] = region.slice(i * n, n);
+        }
+    }
+    let buf = SgList::concat(&seg);
+    if let Some(parent) = t.parent(v) {
+        b.send(t.unvrank(parent, root), tags::GATHER_TREE, buf);
+        return None;
+    }
+    // Root: the output view unrotates vrank order back to rank order.
+    let mut out = SgList::empty();
+    for r in 0..p {
+        let vr = t.vrank(r, root);
+        out = SgList::concat([&out, &seg[vr]]);
+    }
+    Some(out)
+}
 
 /// K-nomial gather: every rank contributes `input` (uniform length); the
 /// root returns the concatenation in rank order, others return `None`.
@@ -17,49 +65,13 @@ pub fn gather_knomial<C: Comm>(
     root: Rank,
     input: &[u8],
 ) -> CommResult<Option<Vec<u8>>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
-    if p == 1 {
-        return Ok(Some(input.to_vec()));
-    }
-    let t = KnomialTree::new(p, k);
-    let v = t.vrank(me, root);
-    // Round index = distance from the root's level: the tree round in which
-    // this rank's subtree payload arrives at its parent (0 at the root).
-    c.mark("gat-knomial", (t.depth() - t.level(v)) as u32);
-    let span = t.subtree_size(v);
-    // Buffer covering vranks [v, v + span), own block first.
-    let mut buf = vec![0u8; span * n];
-    buf[..n].copy_from_slice(input);
-    let children = t.children(v);
-    let reqs: Vec<Req> = children
-        .iter()
-        .map(|&ch| {
-            c.irecv(
-                t.unvrank(ch, root),
-                tags::GATHER_TREE,
-                t.subtree_size(ch) * n,
-            )
-        })
-        .collect::<CommResult<_>>()?;
-    let payloads = c.waitall(reqs)?;
-    for (&ch, got) in children.iter().zip(payloads) {
-        let got = got.expect("recv yields payload");
-        let off = (ch - v) * n;
-        buf[off..off + got.len()].copy_from_slice(&got);
-    }
-    if let Some(parent) = t.parent(v) {
-        c.send(t.unvrank(parent, root), tags::GATHER_TREE, buf)?;
-        return Ok(None);
-    }
-    // Root: unrotate vrank order back to rank order.
-    let mut out = vec![0u8; p * n];
-    for vr in 0..p {
-        let r = t.unvrank(vr, root);
-        out[r * n..(r + 1) * n].copy_from_slice(&buf[vr * n..(vr + 1) * n]);
-    }
-    Ok(Some(out))
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(input.len());
+    let out = build_gather_knomial(&mut b, k, root, own.clone());
+    let is_root = out.is_some();
+    let schedule = b.finish(own, out.unwrap_or_default());
+    let bytes = execute_schedule(c, &schedule, input)?;
+    Ok(is_root.then_some(bytes))
 }
 
 #[cfg(test)]

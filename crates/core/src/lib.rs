@@ -14,15 +14,21 @@
 //! = k-nomial with `k = 2`, recursive doubling = recursive multiplying with
 //! `k = 2`, ring = k-ring with `k = 1`, Bruck, reduce-scatter+allgather).
 //!
-//! Every algorithm is a generic function over [`exacoll_comm::Comm`], so the
-//! same code is executed with real data on the threaded runtime (correctness
-//! tests) and recorded/replayed on the machine simulator (performance).
+//! Every algorithm *lowers* to a per-rank [`schedule::Schedule`] — a
+//! verifiable list of send/recv/compute steps over abstract buffer views —
+//! and one generic engine, [`schedule::engine::execute_schedule`], runs any
+//! schedule against any [`exacoll_comm::Comm`] backend. The same plan is
+//! executed with real data on the threaded and socket runtimes (correctness
+//! tests), replayed on the machine simulator (performance), statically
+//! verified for deadlock-freedom and data-flow coverage
+//! ([`schedule::verify`]), and counted term-by-term against the α-β-γ cost
+//! models.
 //!
-//! The uniform entry point is [`registry::execute`]; see [`registry`] for
-//! the algorithm/operation compatibility matrix.
+//! The uniform entry point is [`registry::execute`] (lowering lives in
+//! [`registry::lower`]); see [`registry`] for the algorithm/operation
+//! compatibility matrix.
 
 pub mod allgather;
-pub mod allgather_kring_general;
 pub mod allreduce;
 pub mod alltoall;
 pub mod barrier;
@@ -33,6 +39,7 @@ pub mod reduce_scatter;
 pub mod reference;
 pub mod registry;
 pub mod scatter;
+pub mod schedule;
 pub mod tags;
 pub mod topo;
 pub mod util;

@@ -11,14 +11,103 @@
 //!
 //! Reductions assume a commutative operator (all [`ReduceOp`]s are); partial
 //! results are always folded in ascending source-rank order so results are
-//! bitwise deterministic for a given tree shape.
+//! bitwise deterministic for a given tree shape. In the lowered plan that
+//! order is the order of the [`Step::Compute`](crate::schedule::Step) steps.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::KnomialTree;
-use exacoll_comm::{reduce_into, Comm, CommResult, DType, Rank, ReduceOp, Req};
+use exacoll_comm::{Comm, CommResult, DType, Rank, ReduceOp};
+
+/// Lower a k-nomial reduce into `b`, accumulating in place into `own`.
+/// Returns the result view at the root, `None` elsewhere.
+pub(crate) fn build_reduce_knomial(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    root: Rank,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> Option<SgList> {
+    let p = b.p();
+    let me = b.rank();
+    let n = own.len();
+    if p == 1 {
+        return Some(own);
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in
+    // which this rank forwards its partial upward (0 at the root).
+    b.mark("red-knomial", (t.depth() - t.level(v)) as u32);
+    let mut children = t.children(v);
+    // Post every child receive up front (message buffering), then fold
+    // in ascending vrank order for determinism.
+    children.sort_unstable();
+    let regions: Vec<SgList> = children
+        .iter()
+        .map(|&ch| {
+            let region = b.alloc(n);
+            b.recv(t.unvrank(ch, root), tags::REDUCE_TREE, region.clone());
+            region
+        })
+        .collect();
+    for region in regions {
+        b.reduce(dtype, op, region, own.clone());
+    }
+    if let Some(parent) = t.parent(v) {
+        b.send(t.unvrank(parent, root), tags::REDUCE_TREE, own);
+        return None;
+    }
+    Some(own)
+}
+
+/// Lower a linear reduce into `b`, accumulating in place into `own`.
+pub(crate) fn build_reduce_linear(
+    b: &mut ScheduleBuilder,
+    root: Rank,
+    own: SgList,
+    dtype: DType,
+    op: ReduceOp,
+) -> Option<SgList> {
+    let p = b.p();
+    let n = own.len();
+    if b.rank() == root {
+        // Fold in ascending sender order.
+        let regions: Vec<SgList> = (0..p)
+            .filter(|&r| r != root)
+            .map(|r| {
+                let region = b.alloc(n);
+                b.recv(r, tags::REDUCE_LINEAR, region.clone());
+                region
+            })
+            .collect();
+        for region in regions {
+            b.reduce(dtype, op, region, own.clone());
+        }
+        Some(own)
+    } else {
+        b.send(root, tags::REDUCE_LINEAR, own);
+        None
+    }
+}
+
+fn run<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    build: impl FnOnce(&mut ScheduleBuilder, SgList) -> Option<SgList>,
+) -> CommResult<Option<Vec<u8>>> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(input.len());
+    let out = build(&mut b, own.clone());
+    let is_root = out.is_some();
+    let schedule = b.finish(own, out.unwrap_or_default());
+    let bytes = execute_schedule(c, &schedule, input)?;
+    Ok(is_root.then_some(bytes))
+}
 
 /// K-nomial tree reduce. Every rank contributes `input`; the root returns
-/// the elementwise combination, other ranks return an empty vector.
+/// the elementwise combination, other ranks return `None`.
 pub fn reduce_knomial<C: Comm>(
     c: &mut C,
     k: usize,
@@ -27,35 +116,9 @@ pub fn reduce_knomial<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Option<Vec<u8>>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
-    let mut acc = input.to_vec();
-    if p > 1 {
-        let t = KnomialTree::new(p, k);
-        let v = t.vrank(me, root);
-        // Round index = distance from the root's level: the tree round in
-        // which this rank forwards its partial upward (0 at the root).
-        c.mark("red-knomial", (t.depth() - t.level(v)) as u32);
-        let mut children = t.children(v);
-        // Post every child receive up front (message buffering), then fold
-        // in ascending vrank order for determinism.
-        children.sort_unstable();
-        let reqs: Vec<Req> = children
-            .iter()
-            .map(|&ch| c.irecv(t.unvrank(ch, root), tags::REDUCE_TREE, n))
-            .collect::<CommResult<_>>()?;
-        for got in c.waitall(reqs)? {
-            let got = got.expect("recv request yields payload");
-            reduce_into(dtype, op, &mut acc, &got)?;
-            c.compute(n);
-        }
-        if let Some(parent) = t.parent(v) {
-            c.send(t.unvrank(parent, root), tags::REDUCE_TREE, acc)?;
-            return Ok(None);
-        }
-    }
-    Ok(Some(acc))
+    run(c, input, |b, own| {
+        build_reduce_knomial(b, k, root, own, dtype, op)
+    })
 }
 
 /// Linear reduce: all ranks send to the root, which folds in rank order.
@@ -66,26 +129,9 @@ pub fn reduce_linear<C: Comm>(
     dtype: DType,
     op: ReduceOp,
 ) -> CommResult<Option<Vec<u8>>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
-    if me == root {
-        let mut acc = input.to_vec();
-        let reqs: Vec<Req> = (0..p)
-            .filter(|&r| r != root)
-            .map(|r| c.irecv(r, tags::REDUCE_LINEAR, n))
-            .collect::<CommResult<_>>()?;
-        // Fold in ascending sender order; `waitall` returns in posting
-        // order, which is ascending by construction.
-        for got in c.waitall(reqs)? {
-            reduce_into(dtype, op, &mut acc, &got.expect("payload"))?;
-            c.compute(n);
-        }
-        Ok(Some(acc))
-    } else {
-        c.send(root, tags::REDUCE_LINEAR, input.to_vec())?;
-        Ok(None)
-    }
+    run(c, input, |b, own| {
+        build_reduce_linear(b, root, own, dtype, op)
+    })
 }
 
 #[cfg(test)]

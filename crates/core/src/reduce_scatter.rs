@@ -11,12 +11,15 @@
 //!   `k`-smooth rank count (the factorization defines the rounds).
 //!
 //! Blocks are split on element boundaries so reductions never straddle an
-//! element.
+//! element. Both variants lower to [`crate::schedule`] steps; fold order is
+//! the order of the `Compute` steps, kept identical to the original loops so
+//! results stay bitwise deterministic.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::factorize;
 use crate::util::pmod;
-use exacoll_comm::{reduce_into, Comm, CommResult, DType, ReduceOp, Req};
+use exacoll_comm::{Comm, CommResult, DType, ReduceOp};
 
 /// Element-aligned byte range of block `i` when `n` bytes of `esize`-byte
 /// elements are split into `p` near-equal blocks.
@@ -36,65 +39,65 @@ pub fn elem_block_sizes(n: usize, esize: usize, p: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Ring reduce-scatter. Every rank contributes `input` (`n` bytes); rank `r`
-/// returns the fully reduced block `r` (element-aligned near-equal split).
+/// Lower the ring reduce-scatter into `b`, accumulating in place into the
+/// `n`-byte vector `own`. Returns this rank's fully reduced block view.
 ///
 /// Round `t`: send partial block `(r + t + 1) mod p` to the left neighbor,
 /// receive partial block `(r + t + 2) mod p` from the right, fold own
 /// contribution in. Each block accumulates contributions in descending-rank
 /// ring order, identically on every path, so results are deterministic.
-pub fn reduce_scatter_ring<C: Comm>(
-    c: &mut C,
-    input: &[u8],
+pub(crate) fn build_reduce_scatter_ring(
+    b: &mut ScheduleBuilder,
+    own: SgList,
     dtype: DType,
     op: ReduceOp,
-) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
+) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    let n = own.len();
     let esize = dtype.size();
     let range = |i: usize| elem_block_range(n, esize, p, i);
+    let block = |i: usize| {
+        let (s, e) = range(i);
+        own.slice(s, e - s)
+    };
     if p == 1 {
-        return Ok(input.to_vec());
+        return own;
     }
     let left = (me + p - 1) % p;
     let right = (me + 1) % p;
-    let mut acc = input.to_vec();
     for t in 0..p - 1 {
-        c.mark("rs-ring", t as u32);
+        b.mark("rs-ring", t as u32);
         let send_idx = pmod(me as isize + t as isize + 1, p);
         let recv_idx = pmod(me as isize + t as isize + 2, p);
-        let (ss, se) = range(send_idx);
-        let (rs, re) = range(recv_idx);
-        let data = acc[ss..se].to_vec();
-        let got = c.sendrecv(
+        let recv_blk = block(recv_idx);
+        let region = b.alloc(recv_blk.len());
+        b.sendrecv(
             left,
             tags::REDUCE_SCATTER_RING,
-            data,
+            block(send_idx),
             right,
             tags::REDUCE_SCATTER_RING,
-            re - rs,
-        )?;
-        reduce_into(dtype, op, &mut acc[rs..re], &got)?;
-        c.compute(re - rs);
+            region.clone(),
+        );
+        b.reduce(dtype, op, region, recv_blk);
     }
-    let (s, e) = range(me);
-    Ok(acc[s..e].to_vec())
+    block(me)
 }
 
-/// Radix-`k` recursive-splitting reduce-scatter. Requires `p` to be
-/// `k`-smooth; rank `r` returns the fully reduced element-aligned block `r`.
-pub fn reduce_scatter_recmult<C: Comm>(
-    c: &mut C,
+/// Lower the radix-`k` recursive-splitting reduce-scatter into `b`.
+/// Requires `p` to be `k`-smooth; returns this rank's reduced block view.
+pub(crate) fn build_reduce_scatter_recmult(
+    b: &mut ScheduleBuilder,
     k: usize,
-    input: &[u8],
+    own: SgList,
     dtype: DType,
     op: ReduceOp,
-) -> CommResult<Vec<u8>> {
+) -> SgList {
     assert!(k >= 2, "radix must be at least 2");
-    let p = c.size();
-    let me = c.rank();
-    let n = input.len();
+    let p = b.p();
+    let me = b.rank();
+    let n = own.len();
     let esize = dtype.size();
     let factors = factorize(p, k).unwrap_or_else(|| panic!("p = {p} is not {k}-smooth"));
     let byte_range = |blocks: (usize, usize)| {
@@ -107,62 +110,97 @@ pub fn reduce_scatter_recmult<C: Comm>(
         };
         (s, e)
     };
-    let mut acc = input.to_vec();
     if p == 1 {
-        return Ok(acc);
+        return own;
     }
-    // Active block segment [lo, lo + span): the aligned window holding me.
+    // Active segment: `cur` views the bytes of the aligned block window
+    // [lo, lo + span) that still holds this rank's data; `seg_s` is its
+    // byte offset in the original vector.
+    let mut cur = own;
     let mut span = p;
     for (round, &f) in factors.iter().enumerate() {
-        c.mark("rs-recmult", round as u32);
+        b.mark("rs-recmult", round as u32);
         let tag = tags::REDUCE_SCATTER_RECMULT + round as u32;
         let lo = me / span * span;
         let sub = span / f;
         let d = (me - lo) / sub;
         let offset = (me - lo) % sub;
-        // Exchange: send partner dd its part of my segment, receive my part.
-        let mut send_reqs: Vec<Req> = Vec::with_capacity(f - 1);
-        let mut recv_reqs: Vec<(usize, Req)> = Vec::with_capacity(f - 1);
+        let (seg_s, _) = byte_range((lo, lo + span));
         let (my_s, my_e) = byte_range((lo + d * sub, lo + (d + 1) * sub));
+        let part_len = my_e - my_s;
+        // Exchange: send partner dd its part of my segment, receive my part.
+        let mut regions: Vec<(usize, SgList)> = Vec::with_capacity(f - 1);
         for dd in 0..f {
             if dd == d {
                 continue;
             }
             let peer = lo + dd * sub + offset;
             let (s, e) = byte_range((lo + dd * sub, lo + (dd + 1) * sub));
-            send_reqs.push(c.isend(peer, tag, acc[s..e].to_vec())?);
-            recv_reqs.push((dd, c.irecv(peer, tag, my_e - my_s)?));
+            b.send(peer, tag, cur.slice(s - seg_s, e - s));
+            let region = b.alloc(part_len);
+            b.recv(peer, tag, region.clone());
+            regions.push((dd, region));
         }
-        c.waitall(send_reqs)?;
-        // Fold contributions into my part in ascending group position so
-        // every rank of the part computes identical bits.
-        let mut received: Vec<(usize, Vec<u8>)> = Vec::with_capacity(f - 1);
-        for (dd, rq) in recv_reqs {
-            received.push((dd, c.wait(rq)?.expect("recv yields payload")));
-        }
-        received.sort_by_key(|(dd, _)| *dd);
-        // Contributions in dd order, with my own partial at position d.
-        let mut folded: Option<Vec<u8>> = None;
-        let mut it = received.into_iter().peekable();
+        // Fold contributions in ascending group position, my own partial at
+        // position d, so every rank of the part computes identical bits. The
+        // position-0 contribution becomes the accumulator; the rest fold in.
+        let my_part = cur.slice(my_s - seg_s, part_len);
+        let mut it = regions.into_iter();
+        let mut acc: Option<SgList> = None;
         for dd in 0..f {
-            let buf: Vec<u8> = if dd == d {
-                acc[my_s..my_e].to_vec()
+            let buf = if dd == d {
+                my_part.clone()
             } else {
                 it.next().expect("one contribution per partner").1
             };
-            match folded.as_mut() {
-                None => folded = Some(buf),
-                Some(acc2) => {
-                    reduce_into(dtype, op, acc2, &buf)?;
-                    c.compute(my_e - my_s);
-                }
+            match &acc {
+                None => acc = Some(buf),
+                Some(a) => b.reduce(dtype, op, buf, a.clone()),
             }
         }
-        acc[my_s..my_e].copy_from_slice(&folded.expect("group nonempty"));
+        cur = acc.expect("group nonempty");
         span = sub;
     }
-    let (s, e) = elem_block_range(n, esize, p, me);
-    Ok(acc[s..e].to_vec())
+    cur
+}
+
+fn run<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    build: impl FnOnce(&mut ScheduleBuilder, SgList) -> SgList,
+) -> CommResult<Vec<u8>> {
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let own = b.alloc(input.len());
+    let out = build(&mut b, own.clone());
+    let schedule = b.finish(own, out);
+    execute_schedule(c, &schedule, input)
+}
+
+/// Ring reduce-scatter. Every rank contributes `input` (`n` bytes); rank `r`
+/// returns the fully reduced block `r` (element-aligned near-equal split).
+pub fn reduce_scatter_ring<C: Comm>(
+    c: &mut C,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    run(c, input, |b, own| {
+        build_reduce_scatter_ring(b, own, dtype, op)
+    })
+}
+
+/// Radix-`k` recursive-splitting reduce-scatter. Requires `p` to be
+/// `k`-smooth; rank `r` returns the fully reduced element-aligned block `r`.
+pub fn reduce_scatter_recmult<C: Comm>(
+    c: &mut C,
+    k: usize,
+    input: &[u8],
+    dtype: DType,
+    op: ReduceOp,
+) -> CommResult<Vec<u8>> {
+    run(c, input, |b, own| {
+        build_reduce_scatter_recmult(b, k, own, dtype, op)
+    })
 }
 
 #[cfg(test)]

@@ -1,16 +1,23 @@
 //! Algorithm registry: the collective/algorithm compatibility matrix
 //! (Table I), uniform dispatch, and sweep enumeration.
+//!
+//! Dispatch is two-staged: [`lower`] turns a [`CollArgs`] into the per-rank
+//! [`Schedule`] IR, and [`execute`] runs that plan through the one generic
+//! engine. Everything downstream — correctness runs, trace simulation,
+//! static verification, model term counting — consumes the same lowering.
 
-use crate::allgather::{allgather_kernel, AllgatherKernel};
+use crate::allgather::{build_allgather_kernel, AllgatherKernel};
 use crate::allreduce::{
-    allreduce_hierarchical, allreduce_recmult, allreduce_reduce_bcast, allreduce_rsag,
+    build_allreduce_hierarchical, build_allreduce_recmult_mapped, build_allreduce_reduce_bcast,
+    build_allreduce_rsag,
 };
-use crate::alltoall::{alltoall_bruck, alltoall_pairwise, alltoall_spread};
-use crate::barrier::barrier_dissemination;
-use crate::bcast::{bcast_knomial, bcast_linear, bcast_scatter_allgather};
-use crate::gather::gather_knomial;
-use crate::reduce::{reduce_knomial, reduce_linear};
-use crate::reduce_scatter::{reduce_scatter_recmult, reduce_scatter_ring};
+use crate::alltoall::{build_alltoall_bruck, build_alltoall_pairwise, build_alltoall_spread};
+use crate::barrier::build_barrier_dissemination;
+use crate::bcast::{build_bcast_knomial, build_bcast_linear, build_bcast_scatter_allgather};
+use crate::gather::build_gather_knomial;
+use crate::reduce::{build_reduce_knomial, build_reduce_linear};
+use crate::reduce_scatter::{build_reduce_scatter_recmult, build_reduce_scatter_ring};
+use crate::schedule::{engine::execute_schedule, Schedule, ScheduleBuilder, SgList};
 use crate::topo::is_smooth;
 use exacoll_comm::{Comm, CommResult, DType, Rank, ReduceOp};
 use std::fmt;
@@ -294,50 +301,80 @@ impl CollArgs {
 /// | Alltoall  | `p` blocks of `n/p` bytes              | received blocks in source order     |
 /// | ReduceScatter | contribution                       | own reduced block (element-aligned) |
 pub fn execute<C: Comm>(c: &mut C, args: &CollArgs, input: &[u8]) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
+    let schedule = lower(args, c.size(), c.rank(), input.len());
+    execute_schedule(c, &schedule, input)
+}
+
+/// Lower one collective invocation to `rank`'s communication plan, for a
+/// size-`p` communicator with `n` input bytes per rank.
+///
+/// This is the *whole* registry dispatch: [`execute`] is nothing but
+/// `lower` + [`execute_schedule`], and the simulator, verifier, and model
+/// term counter consume the identical plans.
+///
+/// # Panics
+///
+/// Panics with `unsupported configuration: ...` when
+/// [`Algorithm::supports`] rejects the combination, and on malformed
+/// shapes (e.g. an alltoall input not divisible into `p` blocks).
+pub fn lower(args: &CollArgs, p: usize, rank: Rank, n: usize) -> Schedule {
     args.alg
         .supports(args.op, p)
         .unwrap_or_else(|e| panic!("unsupported configuration: {e}"));
-    let n = input.len();
+    let mut b = ScheduleBuilder::new(p, rank);
     let root = args.root;
-    let at_root = me == root;
+    let (dtype, rop) = (args.dtype, args.rop);
     match args.op {
         CollectiveOp::Bcast => {
-            let data = at_root.then_some(input);
-            match args.alg {
-                Algorithm::Linear => bcast_linear(c, root, data, n),
-                Algorithm::KnomialTree { k } => bcast_knomial(c, k, root, data, n),
-                Algorithm::RecursiveMultiplying { k } => bcast_scatter_allgather(
-                    c,
+            let data = (rank == root).then(|| b.alloc(n));
+            let out = match args.alg {
+                Algorithm::Linear => build_bcast_linear(&mut b, root, data.clone(), n),
+                Algorithm::KnomialTree { k } => {
+                    build_bcast_knomial(&mut b, k, root, data.clone(), n)
+                }
+                Algorithm::RecursiveMultiplying { k } => build_bcast_scatter_allgather(
+                    &mut b,
                     AllgatherKernel::RecursiveMultiplying { k },
                     root,
-                    data,
+                    data.clone(),
                     n,
                 ),
-                Algorithm::Ring => bcast_scatter_allgather(c, AllgatherKernel::Ring, root, data, n),
-                Algorithm::KRing { k } => {
-                    bcast_scatter_allgather(c, AllgatherKernel::KRing { k }, root, data, n)
-                }
+                Algorithm::Ring => build_bcast_scatter_allgather(
+                    &mut b,
+                    AllgatherKernel::Ring,
+                    root,
+                    data.clone(),
+                    n,
+                ),
+                Algorithm::KRing { k } => build_bcast_scatter_allgather(
+                    &mut b,
+                    AllgatherKernel::KRing { k },
+                    root,
+                    data.clone(),
+                    n,
+                ),
                 _ => unreachable!("guarded by supports()"),
-            }
+            };
+            b.finish(data.unwrap_or_default(), out)
         }
         CollectiveOp::Reduce => {
+            let own = b.alloc(n);
             let out = match args.alg {
-                Algorithm::Linear => reduce_linear(c, root, input, args.dtype, args.rop)?,
+                Algorithm::Linear => build_reduce_linear(&mut b, root, own.clone(), dtype, rop),
                 Algorithm::KnomialTree { k } => {
-                    reduce_knomial(c, k, root, input, args.dtype, args.rop)?
+                    build_reduce_knomial(&mut b, k, root, own.clone(), dtype, rop)
                 }
                 _ => unreachable!("guarded by supports()"),
             };
-            Ok(out.unwrap_or_default())
+            b.finish(own, out.unwrap_or_default())
         }
         CollectiveOp::Gather => {
+            let own = b.alloc(n);
             let out = match args.alg {
-                Algorithm::KnomialTree { k } => gather_knomial(c, k, root, input)?,
+                Algorithm::KnomialTree { k } => build_gather_knomial(&mut b, k, root, own.clone()),
                 _ => unreachable!("guarded by supports()"),
             };
-            Ok(out.unwrap_or_default())
+            b.finish(own, out.unwrap_or_default())
         }
         CollectiveOp::Allgather => {
             let sizes = vec![n; p];
@@ -351,46 +388,79 @@ pub fn execute<C: Comm>(c: &mut C, args: &CollArgs, input: &[u8]) -> CommResult<
                 Algorithm::Bruck => AllgatherKernel::Bruck,
                 _ => unreachable!("guarded by supports()"),
             };
-            allgather_kernel(c, kernel, input, &sizes)
+            let own = b.alloc(n);
+            let blocks = build_allgather_kernel(&mut b, kernel, own.clone(), &sizes);
+            let out = SgList::concat(&blocks);
+            b.finish(own, out)
         }
-        CollectiveOp::ReduceScatter => match args.alg {
-            Algorithm::Ring => reduce_scatter_ring(c, input, args.dtype, args.rop),
-            Algorithm::RecursiveMultiplying { k } => {
-                reduce_scatter_recmult(c, k, input, args.dtype, args.rop)
+        CollectiveOp::ReduceScatter => {
+            let own = b.alloc(n);
+            let out = match args.alg {
+                Algorithm::Ring => build_reduce_scatter_ring(&mut b, own.clone(), dtype, rop),
+                Algorithm::RecursiveMultiplying { k } => {
+                    build_reduce_scatter_recmult(&mut b, k, own.clone(), dtype, rop)
+                }
+                _ => unreachable!("guarded by supports()"),
+            };
+            b.finish(own, out)
+        }
+        CollectiveOp::Alltoall => {
+            assert!(
+                n.is_multiple_of(p),
+                "alltoall input must be p blocks of equal size"
+            );
+            let nb = n / p;
+            let own = b.alloc(n);
+            let out = match args.alg {
+                Algorithm::Linear => build_alltoall_spread(&mut b, own.clone(), nb),
+                Algorithm::Pairwise => build_alltoall_pairwise(&mut b, own.clone(), nb),
+                Algorithm::GeneralizedBruck { r } => {
+                    build_alltoall_bruck(&mut b, r, own.clone(), nb)
+                }
+                _ => unreachable!("guarded by supports()"),
+            };
+            b.finish(own, out)
+        }
+        CollectiveOp::Barrier => {
+            match args.alg {
+                Algorithm::Dissemination { k } => build_barrier_dissemination(&mut b, k),
+                _ => unreachable!("guarded by supports()"),
             }
-            _ => unreachable!("guarded by supports()"),
-        },
-        CollectiveOp::Alltoall => match args.alg {
-            Algorithm::Linear => alltoall_spread(c, input),
-            Algorithm::Pairwise => alltoall_pairwise(c, input),
-            Algorithm::GeneralizedBruck { r } => alltoall_bruck(c, r, input),
-            _ => unreachable!("guarded by supports()"),
-        },
-        CollectiveOp::Barrier => match args.alg {
-            Algorithm::Dissemination { k } => {
-                barrier_dissemination(c, k)?;
-                Ok(Vec::new())
-            }
-            _ => unreachable!("guarded by supports()"),
-        },
-        CollectiveOp::Allreduce => match args.alg {
-            Algorithm::RecursiveMultiplying { k } => {
-                allreduce_recmult(c, k, input, args.dtype, args.rop)
-            }
-            Algorithm::Ring => {
-                allreduce_rsag(c, AllgatherKernel::Ring, input, args.dtype, args.rop)
-            }
-            Algorithm::KRing { k } => {
-                allreduce_rsag(c, AllgatherKernel::KRing { k }, input, args.dtype, args.rop)
-            }
-            Algorithm::ReduceBcast { k } => {
-                allreduce_reduce_bcast(c, k, input, args.dtype, args.rop)
-            }
-            Algorithm::Hierarchical { ppn, k } => {
-                allreduce_hierarchical(c, ppn, k, input, args.dtype, args.rop)
-            }
-            _ => unreachable!("guarded by supports()"),
-        },
+            b.finish(SgList::empty(), SgList::empty())
+        }
+        CollectiveOp::Allreduce => {
+            let own = b.alloc(n);
+            let out = match args.alg {
+                Algorithm::RecursiveMultiplying { k } => build_allreduce_recmult_mapped(
+                    &mut b,
+                    k,
+                    p,
+                    rank,
+                    |g| g,
+                    own.clone(),
+                    dtype,
+                    rop,
+                ),
+                Algorithm::Ring => {
+                    build_allreduce_rsag(&mut b, AllgatherKernel::Ring, own.clone(), dtype, rop)
+                }
+                Algorithm::KRing { k } => build_allreduce_rsag(
+                    &mut b,
+                    AllgatherKernel::KRing { k },
+                    own.clone(),
+                    dtype,
+                    rop,
+                ),
+                Algorithm::ReduceBcast { k } => {
+                    build_allreduce_reduce_bcast(&mut b, k, own.clone(), dtype, rop)
+                }
+                Algorithm::Hierarchical { ppn, k } => {
+                    build_allreduce_hierarchical(&mut b, ppn, k, own.clone(), dtype, rop)
+                }
+                _ => unreachable!("guarded by supports()"),
+            };
+            b.finish(own, out)
+        }
     }
 }
 
@@ -434,6 +504,33 @@ pub fn candidates(op: CollectiveOp, p: usize, max_k: usize) -> Vec<Algorithm> {
         push(Algorithm::ReduceBcast { k });
         push(Algorithm::Dissemination { k });
         push(Algorithm::GeneralizedBruck { r: k });
+    }
+    out
+}
+
+/// [`candidates`] with aliased configurations removed: two candidates that
+/// lower to identical per-rank plans are the *same* schedule wearing two
+/// radix labels (e.g. recursive multiplying with `k = 3` on `p = 4` factors
+/// to `2·2`, exactly the `k = 2` plan), and sweeping both would benchmark
+/// and verify one schedule twice. Plans are compared at two probe sizes so
+/// a coincidental size-dependent collision cannot hide a real difference.
+pub fn unique_candidates(op: CollectiveOp, p: usize, max_k: usize) -> Vec<Algorithm> {
+    let mut out: Vec<Algorithm> = Vec::new();
+    let mut seen: Vec<Vec<Schedule>> = Vec::new();
+    // Both probes are p-divisible (alltoall) and element-aligned for the
+    // default u8 dtype (reduce-scatter).
+    let probes = [p, 8 * p];
+    for a in candidates(op, p, max_k) {
+        let args = CollArgs::new(op, a);
+        let plans: Vec<Schedule> = probes
+            .iter()
+            .flat_map(|&n| (0..p).map(move |r| (n, r)))
+            .map(|(n, r)| lower(&args, p, r, n))
+            .collect();
+        if !seen.contains(&plans) {
+            seen.push(plans);
+            out.push(a);
+        }
     }
     out
 }
@@ -507,6 +604,44 @@ mod tests {
                     assert!(a.supports(op, p).is_ok(), "{a} {op} p={p}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn unique_candidates_drop_schedule_aliases() {
+        // p = 4: recmult k=3 factors 4 as 2·2 — the k=2 plan exactly.
+        let cands = candidates(CollectiveOp::Allreduce, 4, 4);
+        let unique = unique_candidates(CollectiveOp::Allreduce, 4, 4);
+        assert!(cands.contains(&Algorithm::RecursiveMultiplying { k: 3 }));
+        assert!(!unique.contains(&Algorithm::RecursiveMultiplying { k: 3 }));
+        assert!(unique.contains(&Algorithm::RecursiveMultiplying { k: 2 }));
+        assert!(unique.contains(&Algorithm::RecursiveMultiplying { k: 4 }));
+        assert!(unique.len() < cands.len());
+        // Every survivor is still a supported candidate, order preserved.
+        let mut it = cands.iter();
+        for u in &unique {
+            assert!(it.any(|c| c == u), "unique_candidates reordered {u}");
+        }
+    }
+
+    #[test]
+    fn lower_matches_execute_output_shape() {
+        use exacoll_comm::run_ranks;
+        let args = CollArgs::new(CollectiveOp::Allgather, Algorithm::Ring);
+        let p = 4;
+        let plans: Vec<Schedule> = (0..p).map(|r| lower(&args, p, r, 3)).collect();
+        for (r, s) in plans.iter().enumerate() {
+            assert_eq!((s.p, s.rank), (p, r));
+            assert_eq!(s.input.len(), 3);
+            assert_eq!(s.output.len(), 3 * p);
+        }
+        // And the engine agrees with execute().
+        let out = run_ranks(p, |c| {
+            let input = vec![c.rank() as u8; 3];
+            execute(c, &args, &input)
+        });
+        for o in &out {
+            assert_eq!(o, &[0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
         }
     }
 

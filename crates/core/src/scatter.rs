@@ -5,12 +5,66 @@
 //! destined for *real* rank `i` ([`crate::util::block_range`]). The tree
 //! operates on virtual ranks, so the buffer an internal node handles is the
 //! concatenation, in vrank order, of the (unequal) real-rank blocks of its
-//! contiguous vrank subtree span.
+//! contiguous vrank subtree span. Lowering never materializes that vrank
+//! reorder: the root's buffer is a scatter/gather view over its input.
 
+use crate::schedule::{engine::execute_schedule, ScheduleBuilder, SgList};
 use crate::tags;
 use crate::topo::KnomialTree;
 use crate::util::{block_len, block_range};
-use exacoll_comm::{Comm, CommResult, Rank, Req};
+use exacoll_comm::{Comm, CommResult, Rank};
+
+/// Lower a k-nomial scatter into `b`. `data` must be `Some` at the root (the
+/// full `n`-byte payload in rank order); returns this rank's block view
+/// (`block_range(n, p, rank)` bytes).
+pub(crate) fn build_scatter_knomial(
+    b: &mut ScheduleBuilder,
+    k: usize,
+    root: Rank,
+    data: Option<SgList>,
+    n: usize,
+) -> SgList {
+    let p = b.p();
+    let me = b.rank();
+    if p == 1 {
+        return data.expect("root provides data");
+    }
+    let t = KnomialTree::new(p, k);
+    let v = t.vrank(me, root);
+    // Round index = distance from the root's level: the tree round in which
+    // this rank receives its subtree's slice (0 at the root).
+    b.mark("sc-knomial", (t.depth() - t.level(v)) as u32);
+    // Size of the block belonging to virtual rank x.
+    let vsize = |x: usize| block_len(n, p, t.unvrank(x, root));
+    // Byte length of the contiguous vrank span [a, b).
+    let span_bytes = |a: usize, bb: usize| (a..bb).map(vsize).sum::<usize>();
+
+    let span = t.subtree_size(v);
+    let buf: SgList = if v == 0 {
+        // Root's vrank-ordered buffer is a permuted view of the payload.
+        let data = data.expect("root provides data");
+        assert_eq!(data.len(), n, "root payload must be n bytes");
+        let mut view = SgList::empty();
+        for x in 0..p {
+            let (s, e) = block_range(n, p, t.unvrank(x, root));
+            view = SgList::concat([&view, &data.slice(s, e - s)]);
+        }
+        view
+    } else {
+        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
+        let region = b.alloc(span_bytes(v, v + span));
+        b.recv(parent, tags::SCATTER_TREE, region.clone());
+        region
+    };
+
+    // Forward each child its subtree's slice; deepest subtrees first.
+    for ch in t.children(v) {
+        let off = span_bytes(v, ch);
+        let len = span_bytes(ch, ch + t.subtree_size(ch));
+        b.send(t.unvrank(ch, root), tags::SCATTER_TREE, buf.slice(off, len));
+    }
+    buf.slice(0, vsize(v))
+}
 
 /// K-nomial scatter of `n` bytes. `input` must be `Some` at the root; every
 /// rank returns its own block (`block_range(n, p, rank)`).
@@ -21,53 +75,11 @@ pub fn scatter_knomial<C: Comm>(
     input: Option<&[u8]>,
     n: usize,
 ) -> CommResult<Vec<u8>> {
-    let p = c.size();
-    let me = c.rank();
-    if p == 1 {
-        return Ok(input.expect("root provides data").to_vec());
-    }
-    let t = KnomialTree::new(p, k);
-    let v = t.vrank(me, root);
-    // Round index = distance from the root's level: the tree round in which
-    // this rank receives its subtree's slice (0 at the root).
-    c.mark("sc-knomial", (t.depth() - t.level(v)) as u32);
-    // Size of the block belonging to virtual rank x.
-    let vsize = |x: usize| block_len(n, p, t.unvrank(x, root));
-    // Byte length of the contiguous vrank span [a, b).
-    let span_bytes = |a: usize, b: usize| (a..b).map(vsize).sum::<usize>();
-
-    let span = t.subtree_size(v);
-    let buf: Vec<u8> = if v == 0 {
-        // Root reorders the payload into vrank order.
-        let data = input.expect("root provides data");
-        assert_eq!(data.len(), n, "root payload must be n bytes");
-        let mut b = Vec::with_capacity(n);
-        for x in 0..p {
-            let (s, e) = block_range(n, p, t.unvrank(x, root));
-            b.extend_from_slice(&data[s..e]);
-        }
-        b
-    } else {
-        let parent = t.unvrank(t.parent(v).expect("non-root"), root);
-        c.recv(parent, tags::SCATTER_TREE, span_bytes(v, v + span))?
-    };
-
-    // Forward each child its subtree's slice; deepest subtrees first.
-    let reqs: Vec<Req> = t
-        .children(v)
-        .into_iter()
-        .map(|ch| {
-            let off = span_bytes(v, ch);
-            let len = span_bytes(ch, ch + t.subtree_size(ch));
-            c.isend(
-                t.unvrank(ch, root),
-                tags::SCATTER_TREE,
-                buf[off..off + len].to_vec(),
-            )
-        })
-        .collect::<CommResult<_>>()?;
-    c.waitall(reqs)?;
-    Ok(buf[..vsize(v)].to_vec())
+    let mut b = ScheduleBuilder::new(c.size(), c.rank());
+    let data = input.map(|d| b.alloc(d.len()));
+    let out = build_scatter_knomial(&mut b, k, root, data.clone(), n);
+    let schedule = b.finish(data.unwrap_or_default(), out);
+    execute_schedule(c, &schedule, input.unwrap_or(&[]))
 }
 
 #[cfg(test)]

@@ -42,5 +42,57 @@ pub const HIER_REDUCE: Tag = 0x0b00;
 pub const HIER_BCAST: Tag = 0x0b10;
 /// K-dissemination barrier rounds.
 pub const BARRIER: Tag = 0x0c00;
+/// Pairwise-exchange alltoall rounds.
+pub const ALLTOALL_PAIRWISE: Tag = 0x0d00;
+/// Spread-out (post-all) alltoall.
+pub const ALLTOALL_SPREAD: Tag = 0x0d10;
+/// Radix-r Bruck alltoall rounds.
+pub const ALLTOALL_BRUCK: Tag = 0x0d20;
 /// Recursive-splitting reduce-scatter rounds.
 pub const REDUCE_SCATTER_RECMULT: Tag = 0x0e00;
+
+/// Every tag base defined above, with its name. Round-indexed phases add
+/// small offsets to a base, so bases must also be comfortably spaced.
+pub const ALL: &[(&str, Tag)] = &[
+    ("BCAST_TREE", BCAST_TREE),
+    ("BCAST_LINEAR", BCAST_LINEAR),
+    ("REDUCE_TREE", REDUCE_TREE),
+    ("REDUCE_LINEAR", REDUCE_LINEAR),
+    ("GATHER_TREE", GATHER_TREE),
+    ("SCATTER_TREE", SCATTER_TREE),
+    ("ALLGATHER_RECMULT", ALLGATHER_RECMULT),
+    ("FOLD", FOLD),
+    ("ALLGATHER_RING", ALLGATHER_RING),
+    ("ALLGATHER_KRING_INTRA", ALLGATHER_KRING_INTRA),
+    ("ALLGATHER_KRING_INTER", ALLGATHER_KRING_INTER),
+    ("ALLGATHER_BRUCK", ALLGATHER_BRUCK),
+    ("ALLREDUCE_RECMULT", ALLREDUCE_RECMULT),
+    ("REDUCE_SCATTER_RING", REDUCE_SCATTER_RING),
+    ("HIER_REDUCE", HIER_REDUCE),
+    ("HIER_BCAST", HIER_BCAST),
+    ("BARRIER", BARRIER),
+    ("ALLTOALL_PAIRWISE", ALLTOALL_PAIRWISE),
+    ("ALLTOALL_SPREAD", ALLTOALL_SPREAD),
+    ("ALLTOALL_BRUCK", ALLTOALL_BRUCK),
+    ("REDUCE_SCATTER_RECMULT", REDUCE_SCATTER_RECMULT),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_bases_are_unique_and_spaced() {
+        let mut sorted: Vec<(&str, Tag)> = ALL.to_vec();
+        sorted.sort_by_key(|&(_, t)| t);
+        for w in sorted.windows(2) {
+            let ((a, ta), (b, tb)) = (w[0], w[1]);
+            assert!(ta != tb, "{a} and {b} share tag base {ta:#06x}");
+            assert!(
+                tb - ta >= 0x10,
+                "{a} ({ta:#06x}) and {b} ({tb:#06x}) are closer than 0x10: \
+                 round offsets could collide"
+            );
+        }
+    }
+}

@@ -17,10 +17,12 @@ pub mod barrier;
 pub mod knomial;
 pub mod kring;
 pub mod optimal;
+pub mod predict;
 pub mod recursive;
 pub mod ring;
 
 pub use optimal::optimal_k;
+pub use predict::{predict_from_schedule, predict_from_stats};
 
 /// Network/compute parameters of the α-β-γ model.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -10,10 +10,14 @@
 //! measured-only.
 
 use crate::timeline::RankTimeline;
+use exacoll_core::registry::lower;
+use exacoll_core::schedule::verify::verify;
 use exacoll_core::topo::{factorize, largest_smooth_leq};
-use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_core::{Algorithm, CollArgs, CollectiveOp};
 use exacoll_json::Value;
-use exacoll_models::{alltoall, barrier, knomial, kring, recursive, ring, rounds, NetParams};
+use exacoll_models::{
+    alltoall, barrier, knomial, kring, predict_from_stats, recursive, ring, rounds, NetParams,
+};
 use std::collections::HashMap;
 
 /// One phase's measured span and model prediction.
@@ -47,6 +51,36 @@ pub struct ResidualReport {
     pub measured_total_ns: f64,
     /// End-to-end model prediction, ns (`None` when unmodeled).
     pub predicted_total_ns: Option<f64>,
+    /// End-to-end prediction priced off the lowered schedule IR's verified
+    /// α/β/γ term counts, ns. Unlike [`predicted_total_ns`] this exists for
+    /// *every* algorithm the registry can lower — including compositions
+    /// (hierarchical, fold phases) the closed-form tables skip — because it
+    /// counts the plan that actually ran rather than a formula about it.
+    ///
+    /// [`predicted_total_ns`]: ResidualReport::predicted_total_ns
+    pub schedule_predicted_ns: Option<f64>,
+}
+
+/// Lower every rank's plan for this configuration, statically verify it,
+/// and price its term counts. `None` when the configuration cannot be
+/// lowered (unsupported combination, alltoall with ragged blocks).
+fn schedule_prediction(
+    op: CollectiveOp,
+    alg: Algorithm,
+    input_bytes: usize,
+    p: usize,
+    net: &NetParams,
+) -> Option<f64> {
+    if p == 0 || alg.supports(op, p).is_err() {
+        return None;
+    }
+    if op == CollectiveOp::Alltoall && !input_bytes.is_multiple_of(p) {
+        return None;
+    }
+    let args = CollArgs::new(op, alg);
+    let plans: Vec<_> = (0..p).map(|r| lower(&args, p, r, input_bytes)).collect();
+    let stats = verify(&plans).ok()?;
+    Some(predict_from_stats(net, &stats))
 }
 
 /// The recursive-multiplying factor schedule actually executed for `p`
@@ -247,6 +281,7 @@ pub fn analyze_residuals(
         phases,
         measured_total_ns: crate::timeline::makespan_ns(timelines),
         predicted_total_ns: predict_total(op, alg, input_bytes, p, net),
+        schedule_predicted_ns: schedule_prediction(op, alg, input_bytes, p, net),
     }
 }
 
@@ -274,6 +309,10 @@ impl ResidualReport {
             (
                 "predicted_total_ns",
                 self.predicted_total_ns.map_or(Value::Null, Value::Num),
+            ),
+            (
+                "schedule_predicted_ns",
+                self.schedule_predicted_ns.map_or(Value::Null, Value::Num),
             ),
         ])
     }
@@ -316,6 +355,13 @@ pub fn render(report: &ResidualReport) -> String {
             "  total                {:>9.3}   (unmodeled)\n",
             report.measured_total_ns / 1000.0
         )),
+    }
+    if let Some(pred) = report.schedule_predicted_ns {
+        out.push_str(&format!(
+            "  total (schedule IR)  {:>9.3} {:>11.3}\n",
+            report.measured_total_ns / 1000.0,
+            pred / 1000.0
+        ));
     }
     out
 }
@@ -378,9 +424,20 @@ mod tests {
         }
         assert!(rep.predicted_total_ns.is_some());
         assert!(rep.measured_total_ns > 0.0);
+        // On p | n the IR term counts reproduce the ring closed form
+        // exactly, so the two end-to-end predictions must agree.
+        let (closed, ir) = (
+            rep.predicted_total_ns.unwrap(),
+            rep.schedule_predicted_ns.unwrap(),
+        );
+        assert!(
+            (closed - ir).abs() < 1e-9 * closed.max(1.0),
+            "closed form {closed} vs schedule IR {ir}"
+        );
         let text = render(&rep);
         assert!(text.contains("rs-ring[0]"));
         assert!(text.contains("total"));
+        assert!(text.contains("total (schedule IR)"));
     }
 
     #[test]
@@ -422,6 +479,9 @@ mod tests {
             .iter()
             .any(|ph| ph.label.starts_with("hier-") && ph.predicted_ns.is_none()));
         assert!(rep.predicted_total_ns.is_none());
+        // No closed-form row exists for the composition, but the schedule
+        // IR still prices the plan that actually ran.
+        assert!(rep.schedule_predicted_ns.is_some());
         // Render must not choke on unmodeled rows.
         assert!(render(&rep).contains("(unmodeled)"));
     }

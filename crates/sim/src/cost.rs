@@ -1,0 +1,68 @@
+//! Direct schedule costing: simulate a lowered [`Schedule`] set without
+//! running it on a live backend first.
+//!
+//! `exacoll_core::registry::lower` produces every rank's communication plan;
+//! [`cost`] replays those plans on the trace recorder (via
+//! [`Schedule::to_trace`], which runs the *real* execution engine over a
+//! `TraceComm`) and feeds the result to the discrete-event simulator. The
+//! op stream being simulated is therefore — by construction — exactly the
+//! op stream a live run would issue, with no data movement and no threads.
+
+use crate::machine::Machine;
+use crate::replay::{simulate, ReplayError, SimOutcome};
+use exacoll_core::schedule::Schedule;
+
+/// Simulate the lowered plans of all ranks on `machine`.
+///
+/// # Errors
+///
+/// [`ReplayError::RankMismatch`] when `schedules.len()` differs from the
+/// machine's rank count, plus any replay error a malformed plan produces
+/// (the static verifier catches those earlier in test sweeps).
+pub fn cost(machine: &Machine, schedules: &[Schedule]) -> Result<SimOutcome, ReplayError> {
+    let traces: Vec<_> = schedules.iter().map(|s| s.to_trace()).collect();
+    simulate(machine, &traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exacoll_comm::{record_traces, Comm};
+    use exacoll_core::registry::{lower, Algorithm, CollArgs, CollectiveOp};
+
+    #[test]
+    fn schedule_cost_equals_traced_execution_cost() {
+        // Costing the IR directly must give the same makespan as recording
+        // a live (threaded) execution and simulating that.
+        let p = 8;
+        let machine = Machine::testbed(2, 4, 2);
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KnomialTree { k: 2 },
+            Algorithm::RecursiveMultiplying { k: 4 },
+        ] {
+            let args = CollArgs::new(CollectiveOp::Allgather, alg);
+            let n = 64;
+            let plans: Vec<_> = (0..p).map(|r| lower(&args, p, r, n)).collect();
+            let direct = cost(&machine, &plans).unwrap();
+
+            let traces = record_traces(p, |c| {
+                let input = vec![c.rank() as u8; n];
+                exacoll_core::registry::execute(c, &args, &input).map(|_| ())
+            });
+            let live = simulate(&machine, &traces).unwrap();
+            assert_eq!(direct.makespan, live.makespan, "{alg}");
+        }
+    }
+
+    #[test]
+    fn rank_count_mismatch_is_an_error() {
+        let machine = Machine::testbed(2, 2, 2);
+        let args = CollArgs::new(CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 });
+        let plans: Vec<_> = (0..2).map(|r| lower(&args, 2, r, 0)).collect();
+        assert!(matches!(
+            cost(&machine, &plans),
+            Err(ReplayError::RankMismatch { .. })
+        ));
+    }
+}

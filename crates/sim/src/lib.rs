@@ -24,6 +24,7 @@
 //! recorded from real algorithm executions and replays them with an event
 //! queue, yielding virtual completion times plus traffic statistics.
 
+pub mod cost;
 pub mod fault;
 pub mod machine;
 pub mod noise;
@@ -32,6 +33,7 @@ pub mod replay;
 pub mod stats;
 pub mod time;
 
+pub use cost::cost;
 pub use fault::{DeadLink, LinkDegradation, SimFaults, Straggler};
 pub use machine::{CpuParams, IntranodeParams, LinkParams, Machine, PortAssignment, Topology};
 pub use noise::NoiseModel;

@@ -6,7 +6,7 @@
 //! frameworks).
 
 use crate::config::{SelectionConfig, SelectionRule};
-use exacoll_core::{registry::candidates, Algorithm, CollectiveOp};
+use exacoll_core::{registry::unique_candidates, Algorithm, CollectiveOp};
 use exacoll_osu::{latency, osu_sizes};
 use exacoll_sim::Machine;
 
@@ -33,7 +33,10 @@ impl Default for AutotuneOptions {
 
 /// Best algorithm per probed size for one collective.
 fn tune_op(machine: &Machine, op: CollectiveOp, opts: &AutotuneOptions) -> Vec<(usize, Algorithm)> {
-    let cands = candidates(op, machine.ranks(), opts.max_k);
+    // Aliased configurations (radixes that lower to byte-identical plans,
+    // e.g. recmult k=3 on p=4) would only re-simulate the same schedule, so
+    // sweep the deduplicated candidate set.
+    let cands = unique_candidates(op, machine.ranks(), opts.max_k);
     opts.sizes
         .iter()
         .map(|&n| {

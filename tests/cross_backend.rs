@@ -63,6 +63,44 @@ fn every_candidate_agrees_on_both_backends() {
 }
 
 #[test]
+fn pre_lowered_schedules_execute_over_real_sockets() {
+    // The schedule IR is transport-agnostic: plans lowered once, ahead of
+    // time, must run unmodified through the generic engine on the TCP
+    // runtime and still match the sequential reference.
+    use exacoll::collectives::registry::lower;
+    use exacoll::collectives::schedule::engine::execute_schedule;
+    use exacoll::collectives::Algorithm;
+
+    let p = 4;
+    for (op, alg) in [
+        (
+            CollectiveOp::Allreduce,
+            Algorithm::RecursiveMultiplying { k: 2 },
+        ),
+        (CollectiveOp::Allgather, Algorithm::KRing { k: 2 }),
+        (CollectiveOp::Bcast, Algorithm::KnomialTree { k: 3 }),
+        (CollectiveOp::Alltoall, Algorithm::GeneralizedBruck { r: 2 }),
+        (CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 }),
+    ] {
+        let inputs = grid_inputs(op, p, 24);
+        let args = CollArgs::new(op, alg);
+        let expect = expected_outputs(op, args.root, args.dtype, args.rop, &inputs)
+            .expect("reference computes");
+        let n = inputs[0].len();
+        let plans: Vec<_> = (0..p).map(|r| lower(&args, p, r, n)).collect();
+        let out = run_socket_ranks(p, |c| {
+            execute_schedule(c, &plans[c.rank()], &inputs[c.rank()])
+        });
+        for r in 0..p {
+            assert_eq!(
+                out[r], expect[r],
+                "socket engine mismatch: {op} {alg} rank={r}"
+            );
+        }
+    }
+}
+
+#[test]
 fn odd_world_size_agrees_on_both_backends() {
     // Prime p exercises the non-power-of-two paths (virtual ranks, uneven
     // k-ring splits) over real sockets.
