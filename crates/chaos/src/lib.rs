@@ -15,13 +15,15 @@
 //! runtime bug, and the campaign reports it as [`Outcome::Mixed`].
 
 use exacoll_comm::{
-    try_run_ranks_with, Comm, CommResult, DType, FaultComm, FaultEvent, FaultPlan, ReduceOp,
-    ThreadComm, WorldOptions,
+    fnv1a, try_run_ranks_with, Comm, CommResult, DType, FaultComm, FaultEvent, FaultPlan,
+    RecordComm, ReduceOp, ThreadComm, WorldOptions,
 };
 use exacoll_core::reference::expected_outputs;
 use exacoll_core::registry::candidates;
+use exacoll_core::spec::alg_to_spec;
 use exacoll_core::{execute, Algorithm, CollArgs, CollectiveOp};
 use exacoll_obs::{RankTimeline, TimedComm};
+use exacoll_replay::{Artifact, RankLog, RankStatus};
 use std::time::{Duration, Instant};
 
 pub use exacoll_core::registry::candidates as algorithm_candidates;
@@ -305,6 +307,119 @@ pub fn run_case_timed(
         .collect()
 }
 
+/// [`run_case_results`] with recording: each rank's [`Comm`] stack is
+/// `RecordComm<FaultComm<ThreadComm>>` — the recorder *outside* the fault
+/// injector, so send events digest what the algorithm intended to transmit
+/// while receive events digest what actually arrived. The run is packaged
+/// as a self-contained replay [`Artifact`] (backend `thread`, the fault
+/// plan's seed in the header) that `exacoll replay` can re-execute against
+/// the schedule IR to pinpoint the first divergent (rank, step).
+pub fn run_case_recorded(
+    op: CollectiveOp,
+    alg: Algorithm,
+    p: usize,
+    fault: FaultClass,
+    seed: u64,
+    payload: usize,
+) -> (Vec<CommResult<Vec<u8>>>, Artifact) {
+    let plan = fault.plan(seed, p);
+    let args = CollArgs {
+        op,
+        alg,
+        root: 0,
+        dtype: DType::U8,
+        rop: ReduceOp::Max,
+    };
+    let opts = WorldOptions {
+        deadline: fault.deadline(),
+    };
+    let out = try_run_ranks_with(p, opts, move |c: &mut ThreadComm| {
+        let rank = c.rank();
+        let input = rank_payload(plan.seed, rank, payload);
+        let abort = c.abort_handle();
+        let (res, events) = {
+            let fc = FaultComm::new(&mut *c, plan).with_abort(abort);
+            let mut rc = RecordComm::new(fc);
+            let res = execute(&mut rc, &args, &input);
+            (res, rc.finish())
+        };
+        // Same closing-barrier discipline as `run_case_results`. The barrier
+        // runs on the raw communicator, outside the recorder, so it does not
+        // appear in the replayed event log.
+        let bar = match &res {
+            Ok(_) if p > 1 => execute(
+                &mut *c,
+                &CollArgs::new(CollectiveOp::Barrier, Algorithm::Dissemination { k: 2 }),
+                &[],
+            )
+            .map(|_| ()),
+            _ => Ok(()),
+        };
+        let result = match (res, bar) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) | (Ok(_), Err(e)) => Err(e),
+        };
+        Ok((result, input, events))
+    });
+    let mut results = Vec::with_capacity(p);
+    let mut ranks = Vec::with_capacity(p);
+    for (rank, r) in out.into_iter().enumerate() {
+        match r {
+            Ok((result, input, events)) => {
+                let (status, output_digest) = match &result {
+                    Ok(v) => (RankStatus::Ok, Some(fnv1a(v))),
+                    Err(e) => (RankStatus::Error(e.to_string()), None),
+                };
+                ranks.push(RankLog {
+                    rank,
+                    status,
+                    input,
+                    output_digest,
+                    events,
+                });
+                results.push(result);
+            }
+            // Harness-level failure: the rank never returned. Its input is
+            // still reconstructable (deterministic), its log is empty.
+            Err(e) => {
+                ranks.push(RankLog {
+                    rank,
+                    status: RankStatus::Error(e.to_string()),
+                    input: rank_payload(plan.seed, rank, payload),
+                    output_digest: None,
+                    events: Vec::new(),
+                });
+                results.push(Err(e));
+            }
+        }
+    }
+    let artifact = Artifact {
+        case: Some(format!("{op}/{}/p{p}/{}", alg_to_spec(&alg), fault.name())),
+        backend: "thread".into(),
+        fault_seed: Some(plan.seed),
+        args,
+        p,
+        n: payload,
+        ranks,
+    };
+    (results, artifact)
+}
+
+/// The campaign's pass/fail verdict: `Err` (with a one-line summary) when
+/// any case failed its fault class's acceptance criterion. This is what
+/// makes `exacoll chaos` exit nonzero on failure.
+pub fn verdict(results: &[CaseResult]) -> Result<(), String> {
+    let failed = results.iter().filter(|r| !r.survived).count();
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{failed}/{} chaos cases failed their fault class's acceptance criterion",
+            results.len()
+        ))
+    }
+}
+
 /// Classify per-rank results against the reference outputs.
 pub fn classify(results: &[CommResult<Vec<u8>>], expected: &[Vec<u8>]) -> Outcome {
     let errs = results.iter().filter(|r| r.is_err()).count();
@@ -435,6 +550,92 @@ mod tests {
         assert_eq!(rank_payload(1, 0, 16), rank_payload(1, 0, 16));
         assert_ne!(rank_payload(1, 0, 16), rank_payload(1, 1, 16));
         assert_ne!(rank_payload(1, 0, 16), rank_payload(2, 0, 16));
+    }
+
+    #[test]
+    fn recorded_corrupt_case_replays_to_a_receive_divergence() {
+        let (results, artifact) = run_case_recorded(
+            CollectiveOp::Allreduce,
+            Algorithm::Ring,
+            4,
+            FaultClass::Corrupt,
+            3,
+            64,
+        );
+        assert_eq!(results.len(), 4);
+        // Round-trip through the on-disk format, then replay: corruption
+        // happened in flight, so the first divergence must be a receive
+        // whose digest disagrees with the fault-free dataflow.
+        let parsed = Artifact::from_json(&artifact.to_json()).unwrap();
+        let report = exacoll_replay::replay(&parsed).unwrap();
+        assert!(!report.is_clean(), "corrupt case must diverge");
+        let h = report.headline().unwrap();
+        assert!(
+            h.explanation.contains("in-flight corruption"),
+            "headline should blame the receive: {h:?}"
+        );
+        // Determinism: replaying again renders the identical report.
+        assert_eq!(
+            report.render(),
+            exacoll_replay::replay(&parsed).unwrap().render()
+        );
+    }
+
+    #[test]
+    fn recorded_baseline_case_replays_clean() {
+        let (results, artifact) = run_case_recorded(
+            CollectiveOp::Bcast,
+            Algorithm::KnomialTree { k: 3 },
+            5,
+            FaultClass::None,
+            9,
+            32,
+        );
+        assert!(results.iter().all(|r| r.is_ok()));
+        let report = exacoll_replay::replay(&artifact).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn recorded_kill_case_truncates_the_victim_log() {
+        let (_, artifact) = run_case_recorded(
+            CollectiveOp::Allreduce,
+            Algorithm::RecursiveMultiplying { k: 2 },
+            4,
+            FaultClass::Kill,
+            5,
+            32,
+        );
+        // Victim is rank 1 (kills(1 % p, 0)): it dies at its first
+        // communication op, so its log holds no sends or receives — only
+        // the infallible leading round mark — and its status is an error.
+        assert!(matches!(artifact.ranks[1].status, RankStatus::Error(_)));
+        assert!(artifact.ranks[1]
+            .events
+            .iter()
+            .all(|e| matches!(e, exacoll_comm::RecordedEvent::Mark { .. })));
+        let report = exacoll_replay::replay(&artifact).unwrap();
+        let h = report.headline().unwrap();
+        assert_eq!(h.rank, 1, "the victim is the first divergent rank");
+        assert_eq!(h.step, artifact.ranks[1].events.len());
+        assert!(h.explanation.contains("rank aborted"), "{h:?}");
+    }
+
+    #[test]
+    fn verdict_is_nonzero_on_any_failed_case() {
+        let ok = run_case(
+            CollectiveOp::Reduce,
+            Algorithm::KnomialTree { k: 2 },
+            4,
+            FaultClass::None,
+            7,
+            16,
+        );
+        assert!(verdict(std::slice::from_ref(&ok)).is_ok());
+        let mut bad = ok;
+        bad.survived = false;
+        let err = verdict(&[bad]).unwrap_err();
+        assert!(err.contains("1/1"), "summary names the count: {err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Minimal flag parsing (no external dependency needed for a `--key value`
 //! grammar).
 
-use exacoll_core::{Algorithm, CollectiveOp};
+use exacoll_core::CollectiveOp;
 use exacoll_sim::Machine;
 use std::collections::HashMap;
 
@@ -128,71 +128,9 @@ pub fn parse_machine(name: &str, nodes: usize, ppn: usize) -> Result<Machine, St
     }
 }
 
-/// Parse a collective name.
-pub fn parse_op(name: &str) -> Result<CollectiveOp, String> {
-    CollectiveOp::ALL
-        .into_iter()
-        .find(|op| op.to_string() == name)
-        .ok_or_else(|| {
-            let names: Vec<String> = CollectiveOp::ALL.iter().map(|o| o.to_string()).collect();
-            format!("unknown op `{name}` (expected one of {})", names.join("|"))
-        })
-}
-
-/// The algorithm spec grammar, for error messages.
-pub const ALG_SPECS: &str = "linear|ring|bruck|pairwise|binomial|recdoubling|\
-knomial:K|recmult:K|kring:K|reduce+bcast:K|dissemination:K|gbruck:R|hier:PPN:K";
-
-/// Parse an algorithm spec like `ring`, `knomial:8`, `kring:4`, `hier:8:4`.
-/// Comma works as the separator too (`recmult,4`), so specs survive shells
-/// and config formats where `:` is awkward.
-pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
-    let norm = spec.replace(',', ":");
-    let mut parts = norm.split(':');
-    let head = parts.next().unwrap_or_default();
-    let mut num = || -> Result<usize, String> {
-        parts
-            .next()
-            .ok_or_else(|| format!("`{spec}` needs a radix, e.g. `{head}:4`"))?
-            .parse()
-            .map_err(|_| format!("bad radix in `{spec}`"))
-    };
-    let alg = match head {
-        "linear" | "spread" => Algorithm::Linear,
-        "ring" => Algorithm::Ring,
-        "bruck" => Algorithm::Bruck,
-        "pairwise" => Algorithm::Pairwise,
-        "knomial" | "binomial" => {
-            if head == "binomial" {
-                Algorithm::KnomialTree { k: 2 }
-            } else {
-                Algorithm::KnomialTree { k: num()? }
-            }
-        }
-        "recmult" | "recdoubling" => {
-            if head == "recdoubling" {
-                Algorithm::RecursiveMultiplying { k: 2 }
-            } else {
-                Algorithm::RecursiveMultiplying { k: num()? }
-            }
-        }
-        "kring" => Algorithm::KRing { k: num()? },
-        "reduce+bcast" | "reducebcast" => Algorithm::ReduceBcast { k: num()? },
-        "dissemination" => Algorithm::Dissemination { k: num()? },
-        "gbruck" => Algorithm::GeneralizedBruck { r: num()? },
-        "hier" => {
-            let ppn = num()?;
-            let k = num()?;
-            Algorithm::Hierarchical { ppn, k }
-        }
-        other => {
-            return Err(format!(
-                "unknown algorithm `{other}` (expected {ALG_SPECS})"
-            ))
-        }
-    };
-    Ok(alg)
-}
+/// Parse a collective name (the grammar lives in [`exacoll_core::spec`],
+/// shared with the launch worker argv and replay artifact headers).
+pub use exacoll_core::spec::{alg_to_spec, parse_alg, parse_op, ALG_SPECS};
 
 /// Execution backend selected by `--backend`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,25 +158,6 @@ pub fn parse_backend(name: &str) -> Result<Backend, String> {
         other => Err(format!(
             "unknown backend `{other}` (expected {BACKEND_NAMES})"
         )),
-    }
-}
-
-/// Re-serialize an algorithm into the spec grammar [`parse_alg`] accepts.
-/// `Display` renders `recmult(4)` for humans; argv handed to worker
-/// processes needs the parseable `recmult:4` form instead.
-pub fn alg_to_spec(alg: &Algorithm) -> String {
-    match alg {
-        Algorithm::Linear => "linear".into(),
-        Algorithm::Ring => "ring".into(),
-        Algorithm::Bruck => "bruck".into(),
-        Algorithm::Pairwise => "pairwise".into(),
-        Algorithm::KnomialTree { k } => format!("knomial:{k}"),
-        Algorithm::RecursiveMultiplying { k } => format!("recmult:{k}"),
-        Algorithm::KRing { k } => format!("kring:{k}"),
-        Algorithm::ReduceBcast { k } => format!("reduce+bcast:{k}"),
-        Algorithm::Dissemination { k } => format!("dissemination:{k}"),
-        Algorithm::GeneralizedBruck { r } => format!("gbruck:{r}"),
-        Algorithm::Hierarchical { ppn, k } => format!("hier:{ppn}:{k}"),
     }
 }
 
@@ -295,46 +214,8 @@ mod tests {
         assert_eq!(parse_size("x"), None);
     }
 
-    #[test]
-    fn algs_parse() {
-        assert_eq!(parse_alg("ring").unwrap(), Algorithm::Ring);
-        assert_eq!(
-            parse_alg("knomial:8").unwrap(),
-            Algorithm::KnomialTree { k: 8 }
-        );
-        assert_eq!(
-            parse_alg("binomial").unwrap(),
-            Algorithm::KnomialTree { k: 2 }
-        );
-        assert_eq!(parse_alg("kring:4").unwrap(), Algorithm::KRing { k: 4 });
-        assert_eq!(
-            parse_alg("hier:8:4").unwrap(),
-            Algorithm::Hierarchical { ppn: 8, k: 4 }
-        );
-        assert_eq!(
-            parse_alg("gbruck:3").unwrap(),
-            Algorithm::GeneralizedBruck { r: 3 }
-        );
-        assert!(parse_alg("knomial").is_err());
-        assert!(parse_alg("wat").is_err());
-    }
-
-    #[test]
-    fn comma_is_a_separator_too() {
-        assert_eq!(
-            parse_alg("recmult,4").unwrap(),
-            parse_alg("recmult:4").unwrap()
-        );
-        assert_eq!(
-            parse_alg("hier,8,4").unwrap(),
-            parse_alg("hier:8:4").unwrap()
-        );
-        assert_eq!(
-            parse_alg("knomial,3").unwrap(),
-            Algorithm::KnomialTree { k: 3 }
-        );
-    }
-
+    // The alg/op grammar itself is tested in `exacoll_core::spec`; here we
+    // only assert the re-export is wired (errors still carry the spec list).
     #[test]
     fn unknown_alg_lists_accepted_specs() {
         let err = parse_alg("wat").unwrap_err();
@@ -373,26 +254,6 @@ mod tests {
         assert_eq!(parse_backend("both").unwrap(), Backend::Both);
         let err = parse_backend("udp").unwrap_err();
         assert!(err.contains("thread|sim|tcp|both"), "got: {err}");
-    }
-
-    #[test]
-    fn alg_specs_round_trip() {
-        let algs = [
-            Algorithm::Linear,
-            Algorithm::Ring,
-            Algorithm::Bruck,
-            Algorithm::Pairwise,
-            Algorithm::KnomialTree { k: 8 },
-            Algorithm::RecursiveMultiplying { k: 4 },
-            Algorithm::KRing { k: 3 },
-            Algorithm::ReduceBcast { k: 5 },
-            Algorithm::Dissemination { k: 2 },
-            Algorithm::GeneralizedBruck { r: 3 },
-            Algorithm::Hierarchical { ppn: 8, k: 4 },
-        ];
-        for alg in algs {
-            assert_eq!(parse_alg(&alg_to_spec(&alg)).unwrap(), alg);
-        }
     }
 
     #[test]

@@ -18,11 +18,14 @@ pub const USAGE: &str = "usage:
   exacoll radix    --machine <name> --nodes N [--ppn P] --op <coll> --size BYTES [--max-k K]
   exacoll time     --machine <name> --nodes N [--ppn P] --op <coll> --alg <alg[:k]> --size BYTES
   exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
-  exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N]
+  exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N] [--record DIR]
   exacoll profile  <coll> --alg <alg[:k]> --ranks P [--ppn N] [--machine <name>] [--size BYTES]
                    [--backend thread|sim|tcp|both] [--chrome FILE] [--metrics FILE]
   exacoll launch   <coll> --alg <alg[:k]> --ranks P [--size BYTES] [--backend tcp]
                    [--timeout SECS] [--chrome FILE] [--spawn N] [--bind HOST:PORT]
+                   [--record DIR]
+  exacoll record   <coll> --alg <alg[:k]> --ranks P [--size BYTES] [--seed S] [--out FILE]
+  exacoll replay   <artifact.json>
   exacoll verify   [--ranks P] [--max-k K] [--size BYTES]
   exacoll machines
   exacoll table1
@@ -43,6 +46,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "chaos" => chaos(&args),
         "profile" => profile(&args),
         "launch" => crate::launch::run(&args),
+        "record" => record(&args),
+        "replay" => replay(&args),
         "verify" => verify_schedules(&args),
         "machines" => machines(),
         "table1" => {
@@ -165,11 +170,105 @@ fn chaos(args: &Args) -> Result<(), String> {
     );
     let results = exacoll_chaos::campaign(p, max_k, seed, bytes);
     print!("{}", exacoll_chaos::survival_table(&results));
-    let failed = results.iter().filter(|r| !r.survived).count();
-    if failed > 0 {
-        return Err(format!("{failed} chaos cases failed"));
+    // Any failed case is re-run under the recorder and dumped as a
+    // self-contained replay artifact, so the failure can be reproduced
+    // offline with `exacoll replay <file>`.
+    let failed: Vec<_> = results.iter().filter(|r| !r.survived).collect();
+    if !failed.is_empty() {
+        let dir = args.opt("record").unwrap_or("chaos-artifacts");
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for case in &failed {
+            let (_, artifact) = exacoll_chaos::run_case_recorded(
+                case.op, case.alg, case.p, case.fault, seed, bytes,
+            );
+            let name = sanitize_artifact_name(&format!(
+                "{}-{}-p{}-{}",
+                case.op,
+                exacoll_core::spec::alg_to_spec(&case.alg),
+                case.p,
+                case.fault.name()
+            ));
+            let path = format!("{dir}/{name}.replay.json");
+            std::fs::write(&path, artifact.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("replay artifact written to {path} (inspect with `exacoll replay {path}`)");
+        }
     }
+    exacoll_chaos::verdict(&results)
+}
+
+/// Make a case label safe as a file name (`:` and `+` appear in alg specs).
+pub(crate) fn sanitize_artifact_name(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            ':' | '+' | '/' | ' ' => '_',
+            c => c,
+        })
+        .collect()
+}
+
+/// Record one fault-free run on the threaded backend as a replay artifact.
+fn record(args: &Args) -> Result<(), String> {
+    let op = match args.positional() {
+        Some(name) => crate::args::parse_op(name)?,
+        None => args.op()?,
+    };
+    let alg = parse_alg(args.req("alg")?)?;
+    let p = args.req_usize("ranks")?;
+    if p == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let size = match args.opt("size") {
+        None => 64,
+        Some(s) => crate::args::parse_size(s).ok_or_else(|| format!("bad --size `{s}`"))?,
+    };
+    // Same payload normalization as launch: alltoall needs p equal blocks,
+    // barrier carries none.
+    let n = match op {
+        CollectiveOp::Alltoall => size.max(p).div_ceil(p) * p,
+        CollectiveOp::Barrier => 0,
+        _ => size,
+    };
+    let seed = args.opt_usize("seed", 42)? as u64;
+    alg.supports(op, p)?;
+    let coll = CollArgs::new(op, alg);
+    let artifact = exacoll_replay::record_thread_run(&coll, p, n, seed);
+    let default_name = format!(
+        "{}.replay.json",
+        sanitize_artifact_name(&format!(
+            "{op}-{}-p{p}",
+            exacoll_core::spec::alg_to_spec(&alg)
+        ))
+    );
+    let path = args.opt("out").unwrap_or(&default_name);
+    std::fs::write(path, artifact.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "recorded {op}/{alg} on {p} thread rank(s), {n} B per rank -> {path} \
+         (verify with `exacoll replay {path}`)"
+    );
     Ok(())
+}
+
+/// Replay an artifact against the schedule IR; exit nonzero on divergence
+/// or on a gapped/truncated/corrupt artifact.
+fn replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .ok_or("usage: exacoll replay <artifact.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let artifact = exacoll_replay::Artifact::from_json(&text).map_err(|e| e.to_string())?;
+    let report = exacoll_replay::replay(&artifact).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        let h = report.headline().expect("diverged report has a headline");
+        Err(format!(
+            "replay diverged: first at rank {} step {} ({})",
+            h.rank, h.step, h.explanation
+        ))
+    }
 }
 
 /// Profile one collective on both backends: per-rank timelines, critical
@@ -273,6 +372,9 @@ fn verify_schedules(args: &Args) -> Result<(), String> {
         &["collective", "algorithm", "rounds", "beta (B)", "gamma (B)"],
     );
     let mut checked = 0usize;
+    // Check every configuration before deciding the exit code, so one bad
+    // schedule doesn't hide the rest of the audit.
+    let mut failures: Vec<String> = Vec::new();
     for op in CollectiveOp::ALL {
         // Alltoall plans need p equal blocks; round the payload up.
         let n_op = if op == CollectiveOp::Alltoall {
@@ -283,18 +385,38 @@ fn verify_schedules(args: &Args) -> Result<(), String> {
         for alg in candidates(op, p, max_k) {
             let cargs = CollArgs::new(op, alg);
             let plans: Vec<_> = (0..p).map(|r| lower(&cargs, p, r, n_op)).collect();
-            let stats = verify(&plans).map_err(|e| format!("{op} / {alg}: {e}"))?;
-            t.row(vec![
-                op.to_string(),
-                alg.to_string(),
-                stats.alpha_rounds.to_string(),
-                stats.beta_bytes.to_string(),
-                stats.gamma_bytes.to_string(),
-            ]);
+            match verify(&plans) {
+                Ok(stats) => {
+                    t.row(vec![
+                        op.to_string(),
+                        alg.to_string(),
+                        stats.alpha_rounds.to_string(),
+                        stats.beta_bytes.to_string(),
+                        stats.gamma_bytes.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    t.row(vec![
+                        op.to_string(),
+                        alg.to_string(),
+                        "FAIL".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    failures.push(format!("{op} / {alg}: {e}"));
+                }
+            }
             checked += 1;
         }
     }
     t.print();
+    if !failures.is_empty() {
+        return Err(format!(
+            "{}/{checked} configuration(s) failed verification:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
     println!("{checked} configurations verified: matched sends, no deadlock, full data flow");
     Ok(())
 }
@@ -387,5 +509,50 @@ mod tests {
         assert!(run("sweep --machine nope --nodes 4 --op bcast").is_err());
         assert!(run("time --machine frontier --nodes 4 --op bcast --alg bruck --size 8").is_err());
         assert!(run("wat").is_err());
+    }
+
+    #[test]
+    fn record_then_replay_round_trips_cleanly() {
+        let dir = std::env::temp_dir().join(format!("exacoll-cli-rr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("case.replay.json");
+        run(&format!(
+            "record allreduce --alg recmult:2 --ranks 4 --size 32 --out {}",
+            out.display()
+        ))
+        .unwrap();
+        run(&format!("replay {}", out.display())).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_rejects_missing_and_corrupt_artifacts() {
+        assert!(run("replay /nonexistent/artifact.json").is_err());
+        let dir = std::env::temp_dir().join(format!("exacoll-cli-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(run(&format!("replay {}", path.display())).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_validates_its_arguments() {
+        // bruck does not implement allreduce; ranks must be positive.
+        assert!(run("record allreduce --alg bruck --ranks 4").is_err());
+        assert!(run("record bcast --alg ring --ranks 0").is_err());
+        assert!(run("record bcast --alg ring").is_err());
+    }
+
+    #[test]
+    fn artifact_names_are_filesystem_safe() {
+        assert_eq!(
+            sanitize_artifact_name("allreduce-recmult:4-p8-corrupt"),
+            "allreduce-recmult_4-p8-corrupt"
+        );
+        assert_eq!(
+            sanitize_artifact_name("allreduce-reduce+bcast:2-p6"),
+            "allreduce-reduce_bcast_2-p6"
+        );
     }
 }

@@ -17,8 +17,15 @@
 //! With `--chrome FILE`, workers additionally dump their timelines as JSON
 //! (via `EXACOLL_TIMELINE`); the launcher merges them into one Chrome trace
 //! with one track per rank.
+//!
+//! With `--record DIR`, workers dump their canonical event logs as per-rank
+//! fragments (via `EXACOLL_RECORD`) — written *before* any execute error
+//! propagates, so failed runs still leave evidence — and the launcher merges
+//! them into one self-contained replay artifact under `DIR`, checkable
+//! offline with `exacoll replay`.
 
 use crate::args::{alg_to_spec, parse_alg, parse_backend, parse_size, Args, Backend};
+use exacoll_comm::{fnv1a, RecordComm};
 use exacoll_core::reference::expected_outputs;
 use exacoll_core::{execute, Algorithm, CollArgs, CollectiveOp};
 use exacoll_net::{serve_rendezvous, SocketComm, SocketOptions};
@@ -26,6 +33,7 @@ use exacoll_obs::{
     chrome_trace, makespan_ns, payload, rank_tracks, timeline_from_json, timeline_to_json,
     BackendRun, ProfileSpec, RankTimeline, TimedComm,
 };
+use exacoll_replay::{Artifact, RankLog, RankStatus};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -150,9 +158,31 @@ fn worker(spec: &LaunchSpec) -> Result<(), String> {
     // Align the epoch across processes: everyone leaves the barrier within
     // one wire latency of each other, then starts its clock.
     barrier(&mut c).map_err(|e| fail("entry barrier", e))?;
-    let mut tc = TimedComm::new(&mut c);
-    let output = execute(&mut tc, &coll, &input).map_err(|e| fail("execute", e.to_string()))?;
-    let (_, timeline) = tc.into_parts();
+    let record_to = std::env::var("EXACOLL_RECORD").ok();
+    let (result, timeline, events) = {
+        let mut rc = RecordComm::new(TimedComm::new(&mut c));
+        let result = execute(&mut rc, &coll, &input);
+        let (tc, events) = rc.into_parts();
+        let (_, timeline) = tc.into_parts();
+        (result, timeline, events)
+    };
+    // The replay fragment is written before any execute error propagates, so
+    // a failed run still leaves its half of the evidence.
+    if let Some(path) = &record_to {
+        let log = RankLog {
+            rank,
+            status: match &result {
+                Ok(_) => RankStatus::Ok,
+                Err(e) => RankStatus::Error(e.to_string()),
+            },
+            input: input.clone(),
+            output_digest: result.as_ref().ok().map(|o| fnv1a(o)),
+            events,
+        };
+        std::fs::write(path, log.to_json().pretty())
+            .map_err(|e| fail("record", format!("writing {path}: {e}")))?;
+    }
+    let output = result.map_err(|e| fail("execute", e.to_string()))?;
 
     let inputs: Vec<Vec<u8>> = (0..spec.ranks).map(|r| payload(r, len)).collect();
     let expected = expected_outputs(coll.op, coll.root, coll.dtype, coll.rop, &inputs)
@@ -192,9 +222,10 @@ fn worker_binary() -> Result<PathBuf, String> {
     std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))
 }
 
-/// A fresh scratch directory for per-rank timeline files. Uniqueness needs
-/// both the pid and a counter: one process may run several launches.
-fn timeline_dir() -> Result<PathBuf, String> {
+/// A fresh scratch directory for per-rank dump files (timelines, replay
+/// fragments). Uniqueness needs both the pid and a counter: one process may
+/// run several launches.
+fn scratch_dir() -> Result<PathBuf, String> {
     static SEQ: AtomicUsize = AtomicUsize::new(0);
     let dir = std::env::temp_dir().join(format!(
         "exacoll-launch-{}-{}",
@@ -209,13 +240,18 @@ fn timeline_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("rank{rank}.json"))
 }
 
+fn fragment_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank{rank}.record.json"))
+}
+
 /// Spawn worker processes for ranks `0..spawn_n`, optionally pointing each
-/// at a timeline dump file.
+/// at a timeline dump file and/or a replay-fragment file.
 fn spawn_workers(
     spec: &LaunchSpec,
     root: SocketAddr,
     spawn_n: usize,
     tl_dir: Option<&Path>,
+    rec_dir: Option<&Path>,
 ) -> Result<Vec<Child>, String> {
     let bin = worker_binary()?;
     let argv = spec.worker_argv();
@@ -228,6 +264,9 @@ fn spawn_workers(
             .stdin(Stdio::null());
         if let Some(dir) = tl_dir {
             cmd.env("EXACOLL_TIMELINE", timeline_path(dir, rank));
+        }
+        if let Some(dir) = rec_dir {
+            cmd.env("EXACOLL_RECORD", fragment_path(dir, rank));
         }
         children.push(
             cmd.spawn()
@@ -299,6 +338,44 @@ fn collect_timelines(dir: &Path, p: usize) -> Result<Vec<RankTimeline>, String> 
         .collect()
 }
 
+/// Merge the per-rank replay fragments into one self-contained artifact.
+/// A rank whose fragment is missing or unreadable (worker died before it
+/// could record) gets an error-status log with a reconstructed input and an
+/// empty event list — the replayer then pins its first divergence at step 0.
+fn merge_fragments(spec: &LaunchSpec, dir: &Path) -> Artifact {
+    let len = spec.input_len();
+    let ranks = (0..spec.ranks)
+        .map(|rank| {
+            let path = fragment_path(dir, rank);
+            let parsed = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| exacoll_json::parse(&text))
+                .and_then(|v| RankLog::from_json(&v, rank).map_err(|e| e.to_string()));
+            parsed.unwrap_or_else(|e| RankLog {
+                rank,
+                status: RankStatus::Error(format!("no replay fragment: {e}")),
+                input: payload(rank, len),
+                output_digest: None,
+                events: Vec::new(),
+            })
+        })
+        .collect();
+    Artifact {
+        case: Some(format!(
+            "{}/{}/p{}/launch",
+            spec.op,
+            alg_to_spec(&spec.alg),
+            spec.ranks
+        )),
+        backend: "tcp".into(),
+        fault_seed: None,
+        args: CollArgs::new(spec.op, spec.alg),
+        p: spec.ranks,
+        n: len,
+        ranks,
+    }
+}
+
 /// Run a full local world for `spec` and return the per-rank timelines.
 /// This is the engine under both `exacoll launch` (all-local case) and
 /// `exacoll profile --backend tcp`.
@@ -314,12 +391,12 @@ fn run_local_world(
     let server = std::thread::spawn(move || serve_rendezvous(&listener, p, deadline));
 
     let tl_dir = if want_timelines {
-        Some(timeline_dir()?)
+        Some(scratch_dir()?)
     } else {
         None
     };
     let result = (|| {
-        let mut children = spawn_workers(spec, root, p, tl_dir.as_deref())?;
+        let mut children = spawn_workers(spec, root, p, tl_dir.as_deref(), None)?;
         // Workers get the full timeout; the launcher allows a little extra
         // so worker-side deadlines fire first with a precise error.
         let failures = wait_workers(&mut children, spec.timeout + Duration::from_secs(10));
@@ -388,6 +465,10 @@ fn launcher(args: &Args) -> Result<(), String> {
     if chrome.is_some() && spawn_n != spec.ranks {
         return Err("--chrome needs all ranks local (don't combine with --spawn)".into());
     }
+    let record = args.opt("record");
+    if record.is_some() && spawn_n != spec.ranks {
+        return Err("--record needs all ranks local (don't combine with --spawn)".into());
+    }
 
     let bind = args.opt("bind").unwrap_or("127.0.0.1:0");
     let listener =
@@ -413,13 +494,35 @@ fn launcher(args: &Args) -> Result<(), String> {
     }
 
     let tl_dir = if chrome.is_some() {
-        Some(timeline_dir()?)
+        Some(scratch_dir()?)
+    } else {
+        None
+    };
+    let rec_dir = if record.is_some() {
+        Some(scratch_dir()?)
     } else {
         None
     };
     let result = (|| {
-        let mut children = spawn_workers(&spec, root, spawn_n, tl_dir.as_deref())?;
+        let mut children =
+            spawn_workers(&spec, root, spawn_n, tl_dir.as_deref(), rec_dir.as_deref())?;
         let failures = wait_workers(&mut children, spec.timeout + Duration::from_secs(10));
+        // Merge the replay artifact before failure handling: a failed run is
+        // exactly when the artifact matters most.
+        if let (Some(dir), Some(out_dir)) = (&rec_dir, record) {
+            let artifact = merge_fragments(&spec, dir);
+            std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+            let name = crate::commands::sanitize_artifact_name(&format!(
+                "{}-{}-p{}-launch",
+                spec.op,
+                alg_to_spec(&spec.alg),
+                spec.ranks
+            ));
+            let path = format!("{out_dir}/{name}.replay.json");
+            std::fs::write(&path, artifact.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("replay artifact written to {path} (verify with `exacoll replay {path}`)");
+        }
         if !failures.is_empty() {
             return Err(format!(
                 "{}/{} worker(s) failed:\n  {}",
@@ -443,6 +546,9 @@ fn launcher(args: &Args) -> Result<(), String> {
         Ok(())
     })();
     if let Some(dir) = &tl_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    if let Some(dir) = &rec_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
     if let Err(e) = server.join().map_err(|_| "rendezvous thread panicked")? {

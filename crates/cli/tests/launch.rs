@@ -157,6 +157,76 @@ fn profile_tcp_backend_emits_chrome_trace() {
 }
 
 #[test]
+fn launch_record_emits_a_clean_replay_artifact() {
+    let dir = tmp("record-dir");
+    let out = exacoll(&[
+        "launch",
+        "allreduce",
+        "--alg",
+        "recmult:2",
+        "--ranks",
+        "4",
+        "--size",
+        "2K",
+        "--timeout",
+        "60",
+        "--record",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "launch --record failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let path = dir.join("allreduce-recmult_2-p4-launch.replay.json");
+    let text = std::fs::read_to_string(&path).expect("artifact written");
+    let artifact = exacoll_replay::Artifact::from_json(&text).expect("artifact parses");
+    assert_eq!(artifact.p, 4);
+    assert_eq!(artifact.backend, "tcp");
+    let report = exacoll_replay::replay(&artifact).expect("artifact replays");
+    assert!(
+        report.is_clean(),
+        "fault-free TCP run must replay with zero divergences:\n{}",
+        report.render()
+    );
+    // And through the CLI: `exacoll replay` exits 0 on a clean artifact.
+    let out = exacoll(&["replay", path.to_str().expect("utf-8 temp path")]);
+    assert!(
+        out.status.success(),
+        "replay subcommand failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("PASS"),
+        "missing verdict line: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn launch_record_rejects_partial_spawn() {
+    let out = exacoll(&[
+        "launch",
+        "allreduce",
+        "--alg",
+        "ring",
+        "--ranks",
+        "2",
+        "--spawn",
+        "1",
+        "--record",
+        "/tmp/never-used",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--record needs all ranks local"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
 fn unknown_backend_error_lists_accepted_values() {
     let out = exacoll(&[
         "launch",

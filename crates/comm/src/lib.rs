@@ -28,6 +28,7 @@ pub mod buffer;
 pub mod comm;
 pub mod error;
 pub mod fault;
+pub mod record;
 pub mod reduce_ops;
 pub mod thread_rt;
 pub mod trace;
@@ -37,6 +38,7 @@ pub use buffer::TypedBuf;
 pub use comm::{Comm, Req};
 pub use error::{CommError, CommResult};
 pub use fault::{FaultComm, FaultEvent, FaultPlan, KillSpec};
+pub use record::{fnv1a, RecordComm, RecordedEvent};
 pub use reduce_ops::reduce_into;
 pub use thread_rt::{
     run_ranks, try_run_ranks, try_run_ranks_with, AbortHandle, ThreadComm, ThreadWorld,

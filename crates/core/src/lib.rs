@@ -40,6 +40,7 @@ pub mod reference;
 pub mod registry;
 pub mod scatter;
 pub mod schedule;
+pub mod spec;
 pub mod tags;
 pub mod topo;
 pub mod util;

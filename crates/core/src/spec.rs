@@ -1,0 +1,177 @@
+//! The textual spec grammar for algorithms and collectives.
+//!
+//! This is the one parseable encoding used everywhere a configuration
+//! crosses a process or file boundary: CLI flags (`--alg recmult:4`), the
+//! argv handed to `exacoll launch` worker processes, and the header of
+//! record/replay artifacts. [`Display`](std::fmt::Display) renders the
+//! human form (`recmult(4)`); [`alg_to_spec`] renders the machine form this
+//! module parses back.
+
+use crate::registry::{Algorithm, CollectiveOp};
+use exacoll_comm::{DType, ReduceOp};
+
+/// The algorithm spec grammar, for error messages.
+pub const ALG_SPECS: &str = "linear|ring|bruck|pairwise|binomial|recdoubling|\
+knomial:K|recmult:K|kring:K|reduce+bcast:K|dissemination:K|gbruck:R|hier:PPN:K";
+
+/// Parse a collective name as rendered by [`CollectiveOp`]'s `Display`.
+pub fn parse_op(name: &str) -> Result<CollectiveOp, String> {
+    CollectiveOp::ALL
+        .into_iter()
+        .find(|op| op.to_string() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = CollectiveOp::ALL.iter().map(|o| o.to_string()).collect();
+            format!("unknown op `{name}` (expected one of {})", names.join("|"))
+        })
+}
+
+/// Parse an algorithm spec like `ring`, `knomial:8`, `kring:4`, `hier:8:4`.
+/// Comma works as the separator too (`recmult,4`), so specs survive shells
+/// and config formats where `:` is awkward.
+pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
+    let norm = spec.replace(',', ":");
+    let mut parts = norm.split(':');
+    let head = parts.next().unwrap_or_default();
+    let mut num = || -> Result<usize, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("`{spec}` needs a radix, e.g. `{head}:4`"))?
+            .parse()
+            .map_err(|_| format!("bad radix in `{spec}`"))
+    };
+    let alg = match head {
+        "linear" | "spread" => Algorithm::Linear,
+        "ring" => Algorithm::Ring,
+        "bruck" => Algorithm::Bruck,
+        "pairwise" => Algorithm::Pairwise,
+        "knomial" | "binomial" => {
+            if head == "binomial" {
+                Algorithm::KnomialTree { k: 2 }
+            } else {
+                Algorithm::KnomialTree { k: num()? }
+            }
+        }
+        "recmult" | "recdoubling" => {
+            if head == "recdoubling" {
+                Algorithm::RecursiveMultiplying { k: 2 }
+            } else {
+                Algorithm::RecursiveMultiplying { k: num()? }
+            }
+        }
+        "kring" => Algorithm::KRing { k: num()? },
+        "reduce+bcast" | "reducebcast" => Algorithm::ReduceBcast { k: num()? },
+        "dissemination" => Algorithm::Dissemination { k: num()? },
+        "gbruck" => Algorithm::GeneralizedBruck { r: num()? },
+        "hier" => {
+            let ppn = num()?;
+            let k = num()?;
+            Algorithm::Hierarchical { ppn, k }
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm `{other}` (expected {ALG_SPECS})"
+            ))
+        }
+    };
+    Ok(alg)
+}
+
+/// Re-serialize an algorithm into the spec grammar [`parse_alg`] accepts.
+/// `Display` renders `recmult(4)` for humans; specs written to argv or
+/// artifacts need the parseable `recmult:4` form instead.
+pub fn alg_to_spec(alg: &Algorithm) -> String {
+    match alg {
+        Algorithm::Linear => "linear".into(),
+        Algorithm::Ring => "ring".into(),
+        Algorithm::Bruck => "bruck".into(),
+        Algorithm::Pairwise => "pairwise".into(),
+        Algorithm::KnomialTree { k } => format!("knomial:{k}"),
+        Algorithm::RecursiveMultiplying { k } => format!("recmult:{k}"),
+        Algorithm::KRing { k } => format!("kring:{k}"),
+        Algorithm::ReduceBcast { k } => format!("reduce+bcast:{k}"),
+        Algorithm::Dissemination { k } => format!("dissemination:{k}"),
+        Algorithm::GeneralizedBruck { r } => format!("gbruck:{r}"),
+        Algorithm::Hierarchical { ppn, k } => format!("hier:{ppn}:{k}"),
+    }
+}
+
+/// Parse a datatype name as rendered by [`DType`]'s `Display`.
+pub fn parse_dtype(name: &str) -> Result<DType, String> {
+    DType::ALL
+        .into_iter()
+        .find(|d| d.to_string() == name)
+        .ok_or_else(|| format!("unknown dtype `{name}` (expected u8|i32|i64|u64|f32|f64)"))
+}
+
+/// Parse a reduction operator name as rendered by [`ReduceOp`]'s `Display`.
+pub fn parse_rop(name: &str) -> Result<ReduceOp, String> {
+    ReduceOp::ALL
+        .into_iter()
+        .find(|o| o.to_string() == name)
+        .ok_or_else(|| {
+            format!("unknown reduce op `{name}` (expected sum|prod|max|min|band|bor|bxor)")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip() {
+        for op in CollectiveOp::ALL {
+            assert_eq!(parse_op(&op.to_string()).unwrap(), op);
+        }
+        assert!(parse_op("scan").is_err());
+    }
+
+    #[test]
+    fn alg_specs_round_trip() {
+        let algs = [
+            Algorithm::Linear,
+            Algorithm::Ring,
+            Algorithm::Bruck,
+            Algorithm::Pairwise,
+            Algorithm::KnomialTree { k: 8 },
+            Algorithm::RecursiveMultiplying { k: 4 },
+            Algorithm::KRing { k: 3 },
+            Algorithm::ReduceBcast { k: 5 },
+            Algorithm::Dissemination { k: 2 },
+            Algorithm::GeneralizedBruck { r: 3 },
+            Algorithm::Hierarchical { ppn: 8, k: 4 },
+        ];
+        for alg in algs {
+            assert_eq!(parse_alg(&alg_to_spec(&alg)).unwrap(), alg);
+        }
+    }
+
+    #[test]
+    fn dtypes_and_rops_round_trip() {
+        for d in DType::ALL {
+            assert_eq!(parse_dtype(&d.to_string()).unwrap(), d);
+        }
+        for o in ReduceOp::ALL {
+            assert_eq!(parse_rop(&o.to_string()).unwrap(), o);
+        }
+        assert!(parse_dtype("u128").is_err());
+        assert!(parse_rop("land").is_err());
+    }
+
+    #[test]
+    fn aliases_and_errors() {
+        assert_eq!(
+            parse_alg("binomial").unwrap(),
+            Algorithm::KnomialTree { k: 2 }
+        );
+        assert_eq!(
+            parse_alg("recdoubling").unwrap(),
+            Algorithm::RecursiveMultiplying { k: 2 }
+        );
+        assert_eq!(
+            parse_alg("recmult,4").unwrap(),
+            parse_alg("recmult:4").unwrap()
+        );
+        assert!(parse_alg("knomial").is_err());
+        assert!(parse_alg("wat").unwrap_err().contains("recmult:K"));
+    }
+}

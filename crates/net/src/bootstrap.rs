@@ -59,11 +59,75 @@ impl SocketOptions {
     }
 }
 
+/// Cap on the nominal backoff between connect attempts.
+const MAX_BACKOFF: Duration = Duration::from_millis(250);
+
+/// SplitMix64 step: the jitter generator of the retry path. Dependency-free
+/// and deterministic, so a rank's whole retry schedule is a pure function of
+/// its salt — reruns of the same world sleep the same sequence.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Initial generator state for `salt`. The constant separates the streams
+/// of adjacent salts (ranks) far more than the salt's own bits would.
+fn jitter_seed(salt: u64) -> u64 {
+    salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd6e8_feb8_6659_fd93
+}
+
+/// The next jittered sleep: uniform over `[backoff/2, backoff]`, advanced
+/// deterministically from `state`.
+fn jittered(backoff: Duration, state: &mut u64) -> Duration {
+    let r = splitmix64(state);
+    let half = backoff / 2;
+    let span_ns = backoff.saturating_sub(half).as_nanos() as u64;
+    if span_ns == 0 {
+        return backoff;
+    }
+    half + Duration::from_nanos(r % (span_ns + 1))
+}
+
+/// The deterministic sleep schedule `connect_with_retry_seeded` uses for its
+/// first `attempts` retries under `salt`: nominal backoff doubles from 2 ms
+/// (capped at [`MAX_BACKOFF`]), each sleep jittered into the upper half of
+/// the nominal interval. Shares its generator with the connect path, so the
+/// two cannot drift apart; exposed for tests and diagnostics.
+pub fn backoff_schedule(salt: u64, attempts: usize) -> Vec<Duration> {
+    let mut state = jitter_seed(salt);
+    let mut backoff = Duration::from_millis(2);
+    (0..attempts)
+        .map(|_| {
+            let sleep = jittered(backoff, &mut state);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+            sleep
+        })
+        .collect()
+}
+
 /// Connect to `addr`, retrying with exponential backoff until `budget` is
 /// exhausted. Workers race the rendezvous/peer listeners at startup; the
-/// backoff absorbs that window.
+/// backoff absorbs that window. Legacy entry with a zero jitter salt.
 pub fn connect_with_retry(addr: SocketAddr, budget: Duration) -> io::Result<TcpStream> {
+    connect_with_retry_seeded(addr, budget, 0)
+}
+
+/// [`connect_with_retry`] with a jitter `salt` (typically the caller's
+/// rank). When a whole world of workers starts at once and hammers the same
+/// listener, identical backoff schedules retry in lockstep; per-rank jitter
+/// spreads the retries across the interval while keeping every rank's
+/// schedule deterministic — the record/replay contract extends to bootstrap
+/// timing.
+pub fn connect_with_retry_seeded(
+    addr: SocketAddr,
+    budget: Duration,
+    salt: u64,
+) -> io::Result<TcpStream> {
     let start = Instant::now();
+    let mut state = jitter_seed(salt);
     let mut backoff = Duration::from_millis(2);
     loop {
         let remaining = budget.saturating_sub(start.elapsed());
@@ -74,7 +138,10 @@ pub fn connect_with_retry(addr: SocketAddr, budget: Duration) -> io::Result<TcpS
                 return Ok(stream);
             }
             Err(e) => {
-                if start.elapsed() + backoff >= budget {
+                let sleep = jittered(backoff, &mut state);
+                // Budget check uses the actual jittered sleep, so a rank
+                // never oversleeps its budget by more than one attempt.
+                if start.elapsed() + sleep >= budget {
                     return Err(io::Error::new(
                         e.kind(),
                         format!(
@@ -83,8 +150,8 @@ pub fn connect_with_retry(addr: SocketAddr, budget: Duration) -> io::Result<TcpS
                         ),
                     ));
                 }
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(250));
+                std::thread::sleep(sleep);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
             }
         }
     }
@@ -220,6 +287,37 @@ mod tests {
         let err = connect_with_retry(addr, Duration::from_millis(120));
         assert!(err.is_err());
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_salt() {
+        assert_eq!(backoff_schedule(7, 10), backoff_schedule(7, 10));
+        assert_eq!(backoff_schedule(0, 10), backoff_schedule(0, 10));
+    }
+
+    #[test]
+    fn backoff_schedule_jitters_within_the_nominal_interval() {
+        for salt in [0u64, 1, 2, 41] {
+            let mut nominal = Duration::from_millis(2);
+            for sleep in backoff_schedule(salt, 12) {
+                assert!(
+                    sleep >= nominal / 2 && sleep <= nominal,
+                    "salt {salt}: sleep {sleep:?} outside [{:?}, {nominal:?}]",
+                    nominal / 2
+                );
+                nominal = (nominal * 2).min(MAX_BACKOFF);
+            }
+            assert_eq!(nominal, MAX_BACKOFF, "schedule reaches the backoff cap");
+        }
+    }
+
+    #[test]
+    fn adjacent_salts_get_decorrelated_schedules() {
+        let a = backoff_schedule(0, 8);
+        let b = backoff_schedule(1, 8);
+        assert_ne!(a, b, "rank 0 and rank 1 must not retry in lockstep");
+        // Legacy entry == salt 0, by construction.
+        assert_eq!(a, backoff_schedule(0, 8));
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod socket_rt;
 pub mod wire;
 
 pub use bootstrap::{
-    connect_with_retry, map_io, parse_table, serve_rendezvous, SocketOptions, TAG_BOOTSTRAP,
-    TAG_MESH,
+    backoff_schedule, connect_with_retry, connect_with_retry_seeded, map_io, parse_table,
+    serve_rendezvous, SocketOptions, TAG_BOOTSTRAP, TAG_MESH,
 };
 pub use socket_rt::{
     run_socket_ranks, try_run_socket_ranks, try_run_socket_ranks_with, SocketComm,

@@ -31,7 +31,7 @@
 //! every peer and fail all pending operations with [`CommError::Aborted`]).
 
 use crate::bootstrap::{
-    connect_with_retry, map_io, parse_table, serve_rendezvous, SocketOptions, TAG_BOOTSTRAP,
+    connect_with_retry_seeded, map_io, parse_table, serve_rendezvous, SocketOptions, TAG_BOOTSTRAP,
     TAG_MESH,
 };
 use crate::wire::{
@@ -129,7 +129,7 @@ impl SocketComm {
         // Phase 2: mesh. Connect to lower ranks, accept from higher ranks.
         let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
         for (peer, &addr) in table.iter().enumerate().take(rank) {
-            let mut s = connect_with_retry(addr, opts.connect_budget)
+            let mut s = connect_with_retry_seeded(addr, opts.connect_budget, rank as u64)
                 .map_err(|e| map_io(rank, peer, TAG_MESH, &e))?;
             write_frame(&mut s, &Frame::control(KIND_IDENT, rank))
                 .map_err(|e| map_io(rank, peer, TAG_MESH, &e))?;
@@ -235,7 +235,7 @@ fn rendezvous(
     my_addr: SocketAddr,
     opts: &SocketOptions,
 ) -> CommResult<Vec<SocketAddr>> {
-    let mut boot = connect_with_retry(opts.root, opts.connect_budget)
+    let mut boot = connect_with_retry_seeded(opts.root, opts.connect_budget, rank as u64)
         .map_err(|e| map_io(rank, 0, TAG_BOOTSTRAP, &e))?;
     write_frame(
         &mut boot,

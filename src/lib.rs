@@ -22,6 +22,9 @@
 //! * [`net`] — the distributed TCP backend: multi-process `SocketComm`
 //!   runtime with a length-prefixed wire protocol, rendezvous bootstrap,
 //!   and a per-peer progress engine.
+//! * [`replay`] — deterministic record/replay: self-contained artifacts of
+//!   per-rank event logs, a schedule-IR dataflow evaluator, and step-level
+//!   divergence detection.
 //! * [`json`] — the dependency-free JSON layer the snapshots and exporters
 //!   serialize through.
 //!
@@ -54,5 +57,6 @@ pub use exacoll_models as models;
 pub use exacoll_net as net;
 pub use exacoll_obs as obs;
 pub use exacoll_osu as osu;
+pub use exacoll_replay as replay;
 pub use exacoll_sim as sim;
 pub use exacoll_tuning as tuning;
