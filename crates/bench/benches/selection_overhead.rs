@@ -1,0 +1,6 @@
+//! `cargo bench --bench selection_overhead` — regenerates this artifact's
+//! tables and `results/selection_overhead.json`.
+fn main() {
+    let tables = exacoll_bench::selection_overhead::run(exacoll_bench::quick_mode());
+    exacoll_bench::emit("selection_overhead", &tables);
+}

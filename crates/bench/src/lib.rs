@@ -15,6 +15,7 @@
 //! | `fig10`    | Fig. 10 — 1024-node scaling (3 panels)                      |
 //! | `fig11`    | Fig. 11 — radix vs latency on Polaris (3 panels)            |
 //! | `selection`| §VI-G — autotuned selection configuration                   |
+//! | `selection_overhead` | ns/lookup of the lock-free selection hot path     |
 //! | `models`   | Eqs. 1–14 — analytical model vs simulator                   |
 //! | `residuals`| per-round measured-vs-model deltas from recorded timelines  |
 //! | `backends` | thread vs tcp transport latency for allreduce recmult       |
@@ -31,6 +32,7 @@ pub mod fig11;
 pub mod modelcmp;
 pub mod residuals;
 pub mod selection;
+pub mod selection_overhead;
 pub mod table1;
 pub mod variance;
 

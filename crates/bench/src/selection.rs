@@ -16,7 +16,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         sizes: (3..=20).step_by(2).map(|e| 1usize << e).collect(),
         max_k: 16.min(m.ranks()),
     };
-    let cfg = autotune(&m, &opts);
+    let cfg = autotune(&m, &opts).expect("autotune sweep prices every point");
     let sel = Selector::new(cfg.clone()).expect("autotuned config valid");
 
     let mut rules = Table::new(

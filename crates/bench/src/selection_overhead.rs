@@ -1,0 +1,136 @@
+//! Selection hot-path overhead: ns per lock-free lookup.
+//!
+//! The acceptance bar for the selection service is that consulting the
+//! table costs nanoseconds, not microseconds — cheap enough to sit on
+//! every collective dispatch. Three cases:
+//!
+//! * **cold** — a table seeded with cost-model priors only;
+//! * **learned** — the same table after thousands of folded observations
+//!   (the snapshot layout is identical, so this doubles as a check that
+//!   learning does not tax the read path);
+//! * **concurrent** — readers hammering lookups while a writer ingests
+//!   and republishes snapshots the whole time.
+//!
+//! Alongside the usual CSV tables, the raw numbers land in
+//! `results/selection_overhead.json`.
+
+use exacoll_core::CollectiveOp;
+use exacoll_json::Value;
+use exacoll_osu::Table;
+use exacoll_select::{Policy, SelectionService};
+use exacoll_sim::Machine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+const OPS: [CollectiveOp; 2] = [CollectiveOp::Allreduce, CollectiveOp::Bcast];
+const SIZES: [usize; 4] = [64, 4096, 65_536, 1 << 20];
+
+fn seeded(p: usize) -> SelectionService {
+    let m = Machine::testbed(p, 1, 2);
+    let svc = SelectionService::new(Policy::default());
+    svc.seed_priors(&m, &OPS, &SIZES, 4).expect("priors price");
+    svc.publish();
+    svc
+}
+
+/// Time `iters` lookups cycling through the probed keys; returns ns/op.
+fn time_lookups(svc: &SelectionService, p: usize, iters: usize) -> f64 {
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for i in 0..iters {
+        let op = OPS[i % OPS.len()];
+        let bytes = SIZES[(i / OPS.len()) % SIZES.len()];
+        if svc.lookup(op, p, bytes).is_some() {
+            hits += 1;
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(hits > 0, "bench never hit the table");
+    ns
+}
+
+/// Run the overhead benchmark; also writes
+/// `results/selection_overhead.json`.
+pub fn run(quick: bool) -> Vec<Table> {
+    let p = 8;
+    let iters = if quick { 200_000 } else { 2_000_000 };
+
+    // Cold: priors only.
+    let cold_svc = seeded(p);
+    let cold = time_lookups(&cold_svc, p, iters);
+
+    // Learned: fold in a few thousand observations and republish.
+    let learned_svc = seeded(p);
+    for round in 0..2_000usize {
+        let op = OPS[round % OPS.len()];
+        let bytes = SIZES[round % SIZES.len()];
+        let alg = learned_svc.select(op, p, bytes);
+        learned_svc.observe(op, p, bytes, alg, 1_000.0 + round as f64);
+        if round % 100 == 0 {
+            learned_svc.publish();
+        }
+    }
+    learned_svc.publish();
+    let learned = time_lookups(&learned_svc, p, iters);
+
+    // Concurrent: readers run the same loop while a writer keeps
+    // observing and republishing until they finish.
+    let conc_svc = seeded(p);
+    let stop = AtomicBool::new(false);
+    let readers = 4;
+    let per_reader = iters / readers;
+    let (reader_ns, publishes) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut rounds = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let op = OPS[rounds % OPS.len()];
+                let alg = conc_svc.select(op, p, 4096);
+                conc_svc.observe(op, p, 4096, alg, 2_000.0 + rounds as f64);
+                conc_svc.publish();
+                rounds += 1;
+            }
+            rounds
+        });
+        let handles: Vec<_> = (0..readers)
+            .map(|_| scope.spawn(|| time_lookups(&conc_svc, p, per_reader)))
+            .collect();
+        let total: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, Ordering::Relaxed);
+        (total / readers as f64, writer.join().unwrap())
+    });
+
+    let mut t = Table::new(
+        format!("selection lookup overhead (p = {p}, {iters} lookups/case)"),
+        &["case", "ns/lookup", "notes"],
+    );
+    t.row(vec![
+        "cold (priors only)".into(),
+        format!("{cold:.1}"),
+        "freshly seeded table".into(),
+    ]);
+    t.row(vec![
+        "learned".into(),
+        format!("{learned:.1}"),
+        "after 2000 folded observations".into(),
+    ]);
+    t.row(vec![
+        "concurrent readers".into(),
+        format!("{reader_ns:.1}"),
+        format!("4 readers vs writer ({publishes} publishes)"),
+    ]);
+
+    if std::fs::create_dir_all("results").is_ok() {
+        let json = Value::obj(vec![
+            ("bench", Value::Str("selection_overhead".into())),
+            ("ranks", Value::Num(p as f64)),
+            ("lookups_per_case", Value::Num(iters as f64)),
+            ("cold_ns_per_lookup", Value::Num(cold)),
+            ("learned_ns_per_lookup", Value::Num(learned)),
+            ("concurrent_ns_per_lookup", Value::Num(reader_ns)),
+            ("concurrent_readers", Value::Num(readers as f64)),
+            ("writer_publishes", Value::Num(publishes as f64)),
+        ]);
+        let _ = std::fs::write("results/selection_overhead.json", json.pretty());
+    }
+    vec![t]
+}

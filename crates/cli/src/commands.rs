@@ -10,6 +10,7 @@ use exacoll_obs::{
 };
 use exacoll_osu::sweep::fmt_size;
 use exacoll_osu::{latency, measure, Table, VendorPolicy};
+use exacoll_select::{bucket_range, Policy, SelectionService};
 use exacoll_tuning::{autotune, AutotuneOptions};
 
 /// Top-level usage text.
@@ -19,11 +20,15 @@ pub const USAGE: &str = "usage:
   exacoll time     --machine <name> --nodes N [--ppn P] --op <coll> --alg <alg[:k]> --size BYTES
   exacoll autotune --machine <name> --nodes N [--ppn P] [--max-k K] [--out FILE]
   exacoll chaos    [--ranks P] [--max-k K] [--seed S] [--bytes N] [--record DIR]
-  exacoll profile  <coll> --alg <alg[:k]> --ranks P [--ppn N] [--machine <name>] [--size BYTES]
-                   [--backend thread|sim|tcp|both] [--chrome FILE] [--metrics FILE]
-  exacoll launch   <coll> --alg <alg[:k]> --ranks P [--size BYTES] [--backend tcp]
-                   [--timeout SECS] [--chrome FILE] [--spawn N] [--bind HOST:PORT]
-                   [--record DIR]
+  exacoll profile  <coll> (--alg <alg[:k]> | --select auto) --ranks P [--ppn N]
+                   [--machine <name>] [--size BYTES] [--backend thread|sim|tcp|both]
+                   [--chrome FILE] [--metrics FILE] [--table FILE]
+  exacoll launch   <coll> (--alg <alg[:k]> | --select auto) --ranks P [--size BYTES]
+                   [--backend tcp] [--timeout SECS] [--chrome FILE] [--spawn N]
+                   [--bind HOST:PORT] [--record DIR] [--table FILE] [--machine <name>]
+  exacoll select   <seed|show|diff|export|import> [--table FILE]
+                   (seed: --machine <name> --nodes N [--ppn P] [--sizes ...] [--max-k K];
+                    export: [--out FILE]; import: --from FILE)
   exacoll record   <coll> --alg <alg[:k]> --ranks P [--size BYTES] [--seed S] [--out FILE]
   exacoll replay   <artifact.json>
   exacoll verify   [--ranks P] [--max-k K] [--size BYTES]
@@ -43,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "radix" => radix(&args),
         "time" => time(&args),
         "autotune" => run_autotune(&args),
+        "select" => select_cmd(&args),
         "chaos" => chaos(&args),
         "profile" => profile(&args),
         "launch" => crate::launch::run(&args),
@@ -142,7 +148,7 @@ fn run_autotune(args: &Args) -> Result<(), String> {
         max_k: args.opt_usize("max-k", 16)?,
     };
     eprintln!("autotuning {} over {} sizes ...", m.name, opts.sizes.len());
-    let cfg = autotune(&m, &opts);
+    let cfg = autotune(&m, &opts)?;
     let json = cfg.to_json();
     match args.opt("out") {
         Some(path) => {
@@ -152,6 +158,155 @@ fn run_autotune(args: &Args) -> Result<(), String> {
         None => println!("{json}"),
     }
     Ok(())
+}
+
+/// Where `--select auto` keeps its learned table unless `--table` says
+/// otherwise.
+pub(crate) const DEFAULT_TABLE: &str = "results/selection_auto.json";
+
+/// The learned-table path for this invocation.
+pub(crate) fn table_path(args: &Args) -> &str {
+    args.opt("table").unwrap_or(DEFAULT_TABLE)
+}
+
+/// Resolve `--select auto` into a concrete algorithm for (op, ranks,
+/// bytes): load (or create) the learned table, lazily seed cost-model
+/// priors for this bucket if nothing is known yet, and return the
+/// published winner. Returns the service so the caller can feed observed
+/// timings back after the run.
+pub(crate) fn resolve_auto(
+    args: &Args,
+    op: CollectiveOp,
+    ranks: usize,
+    bytes: usize,
+    machine: &exacoll_sim::Machine,
+) -> Result<(SelectionService, exacoll_core::Algorithm), String> {
+    let table = table_path(args);
+    let svc = SelectionService::load_or_new(table, Policy::default())?;
+    if !svc.knows(op, ranks, bytes) {
+        let max_k = args.opt_usize("max-k", 8)?;
+        let priced = svc.seed_point(machine, op, bytes, max_k)?;
+        svc.publish();
+        svc.save(table)?;
+        eprintln!(
+            "select: seeded {priced} cost-model prior(s) for {op} p={ranks} \
+             bucket {} into {table}",
+            bucket_range(exacoll_select::bucket_of_bytes(bytes))
+        );
+    }
+    let alg = svc.select(op, ranks, bytes);
+    Ok((svc, alg))
+}
+
+/// Fold measured makespans back into the learned table and persist it.
+pub(crate) fn record_feedback(
+    svc: &SelectionService,
+    args: &Args,
+    op: CollectiveOp,
+    ranks: usize,
+    bytes: usize,
+    alg: exacoll_core::Algorithm,
+    observations: &[f64],
+) -> Result<(), String> {
+    for &ns in observations {
+        svc.observe(op, ranks, bytes, alg, ns);
+    }
+    svc.publish();
+    let table = table_path(args);
+    svc.save(table)?;
+    eprintln!(
+        "select: recorded {} observation(s) for {op}/{alg} p={ranks} into {table}",
+        observations.len()
+    );
+    Ok(())
+}
+
+/// Inspect, grow, and move learned selection tables.
+fn select_cmd(args: &Args) -> Result<(), String> {
+    let table = table_path(args);
+    match args.positional().unwrap_or("show") {
+        // Full prior sweep: price every candidate for the paper's four
+        // collectives over the probed sizes and persist the result.
+        "seed" => {
+            let m = args.machine()?;
+            let sizes = args.sizes()?;
+            let max_k = args.opt_usize("max-k", 16)?;
+            let svc = SelectionService::load_or_new(table, Policy::default())?;
+            let priced = svc.seed_priors(&m, &CollectiveOp::EVALUATED, &sizes, max_k)?;
+            svc.publish();
+            svc.save(table)?;
+            eprintln!(
+                "select: seeded {priced} prior(s) over {} size(s) on {} -> {table}",
+                sizes.len(),
+                m.name
+            );
+            Ok(())
+        }
+        "show" => {
+            let svc = SelectionService::load(table)?;
+            let mut t = Table::new(
+                format!("learned selection table ({table})"),
+                &[
+                    "collective",
+                    "p",
+                    "size range",
+                    "published",
+                    "model pick",
+                    "samples",
+                ],
+            );
+            let policy = svc.policy();
+            svc.for_each_bucket(|op, p, bucket, cells| {
+                let published = exacoll_select::policy::winner(cells, &policy)
+                    .map_or("-".to_string(), |a| a.to_string());
+                let model = exacoll_select::policy::prior_winner(cells)
+                    .map_or("-".to_string(), |a| a.to_string());
+                let samples: u64 = cells.iter().map(|c| c.obs_n).sum();
+                t.row(vec![
+                    op.to_string(),
+                    p.to_string(),
+                    bucket_range(bucket),
+                    published,
+                    model,
+                    samples.to_string(),
+                ]);
+            });
+            t.print();
+            Ok(())
+        }
+        "diff" => {
+            let svc = SelectionService::load(table)?;
+            print!("{}", exacoll_select::diff::render(&svc.diff()));
+            Ok(())
+        }
+        "export" => {
+            let svc = SelectionService::load(table)?;
+            let json = svc.to_json().pretty();
+            match args.opt("out") {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("selection table exported to {path}");
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        // Validate the incoming file by loading it, then re-serialize
+        // canonically into the table path.
+        "import" => {
+            let from = args.req("from")?;
+            let svc = SelectionService::load(from)?;
+            svc.save(table)?;
+            eprintln!(
+                "selection table imported from {from} -> {table} ({} bucket(s))",
+                svc.tracked()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown select action `{other}` (expected seed|show|diff|export|import)"
+        )),
+    }
 }
 
 /// Run the fault-injection campaign on the threaded runtime and print the
@@ -278,7 +433,6 @@ fn profile(args: &Args) -> Result<(), String> {
         Some(name) => crate::args::parse_op(name)?,
         None => args.op()?,
     };
-    let alg = parse_alg(args.req("alg")?)?;
     let ranks = args.req_usize("ranks")?;
     let ppn = args.opt_usize("ppn", 1)?;
     if ranks == 0 || ppn == 0 || ranks % ppn != 0 {
@@ -292,13 +446,29 @@ fn profile(args: &Args) -> Result<(), String> {
         None => 1024,
         Some(s) => crate::args::parse_size(s).ok_or_else(|| format!("bad --size `{s}`"))?,
     };
-    alg.supports(op, ranks)?;
-    let spec = ProfileSpec {
+    // Resolve the algorithm: explicit `--alg`, or the selection service
+    // under `--select auto` (which then gets the measured makespans fed
+    // back after the runs).
+    let mut spec = ProfileSpec {
         op,
-        alg,
+        alg: exacoll_core::registry::default_algorithm(op),
         machine,
         size,
     };
+    let service = match args.opt("select") {
+        None => {
+            spec.alg = parse_alg(args.req("alg")?)?;
+            None
+        }
+        Some("auto") => {
+            let (svc, alg) = resolve_auto(args, op, ranks, spec.input_len(), &spec.machine)?;
+            spec.alg = alg;
+            eprintln!("select: auto resolved {op} p={ranks} -> {alg}");
+            Some(svc)
+        }
+        Some(other) => return Err(format!("--select supports only `auto` (got `{other}`)")),
+    };
+    spec.alg.supports(op, ranks)?;
 
     let runs: Vec<BackendRun> = match parse_backend(args.opt("backend").unwrap_or("both"))? {
         Backend::Sim => vec![profile_sim(&spec)?],
@@ -308,7 +478,8 @@ fn profile(args: &Args) -> Result<(), String> {
     };
 
     println!(
-        "profile: {op} / {alg} on {} ({ranks} rank(s), {} B per rank)",
+        "profile: {op} / {} on {} ({ranks} rank(s), {} B per rank)",
+        spec.alg,
         spec.machine.name,
         spec.input_len()
     );
@@ -351,6 +522,16 @@ fn profile(args: &Args) -> Result<(), String> {
         std::fs::write(path, metrics.to_json().pretty())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(svc) = &service {
+        // Feed real measurements back; the simulator's makespan *is* the
+        // cost model, so it would only restate the prior.
+        let observed: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.backend != "sim")
+            .map(|r| r.makespan_ns)
+            .collect();
+        record_feedback(svc, args, op, ranks, spec.input_len(), spec.alg, &observed)?;
     }
     Ok(())
 }
@@ -542,6 +723,53 @@ mod tests {
         assert!(run("record allreduce --alg bruck --ranks 4").is_err());
         assert!(run("record bcast --alg ring --ranks 0").is_err());
         assert!(run("record bcast --alg ring").is_err());
+    }
+
+    #[test]
+    fn select_seed_show_diff_export_import_round_trip() {
+        let dir = std::env::temp_dir().join(format!("exacoll-cli-select-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = dir.join("table.json");
+        let copy = dir.join("copy.json");
+        run(&format!(
+            "select seed --machine testbed --nodes 4 --sizes 64,4K --max-k 4 --table {}",
+            table.display()
+        ))
+        .unwrap();
+        assert!(table.exists());
+        run(&format!("select show --table {}", table.display())).unwrap();
+        run(&format!("select diff --table {}", table.display())).unwrap();
+        run(&format!(
+            "select export --table {} --out {}",
+            table.display(),
+            copy.display()
+        ))
+        .unwrap();
+        // Export is already canonical, so import re-serializes identically.
+        run(&format!(
+            "select import --from {} --table {}",
+            copy.display(),
+            table.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&table).unwrap(),
+            std::fs::read(&copy).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn select_rejects_unknown_actions_and_missing_tables() {
+        assert!(run("select wat").is_err());
+        assert!(run("select show --table /nonexistent/table.json").is_err());
+        assert!(run("select import --table /tmp/t.json").is_err()); // --from required
+    }
+
+    #[test]
+    fn profile_select_rejects_non_auto_values() {
+        let err = run("profile allreduce --select always --ranks 4").unwrap_err();
+        assert!(err.contains("auto"), "got: {err}");
     }
 
     #[test]

@@ -49,6 +49,26 @@ struct LaunchSpec {
     ranks: usize,
     size: usize,
     timeout: Duration,
+    /// Set when `--select auto` resolved the algorithm: the learned-table
+    /// path to feed the measured makespan back into. Launcher-only state —
+    /// `worker_argv` hands workers the concrete `--alg`, never `--select`.
+    select_table: Option<String>,
+}
+
+/// Per-rank input length for (op, ranks, size): alltoall needs a multiple
+/// of `p`, barrier carries no payload (mirrors `ProfileSpec::input_len`).
+fn input_len_of(op: CollectiveOp, ranks: usize, size: usize) -> usize {
+    match op {
+        CollectiveOp::Alltoall => {
+            if size < ranks {
+                ranks
+            } else {
+                size - size % ranks
+            }
+        }
+        CollectiveOp::Barrier => 0,
+        _ => size,
+    }
 }
 
 impl LaunchSpec {
@@ -57,7 +77,6 @@ impl LaunchSpec {
             Some(name) => crate::args::parse_op(name)?,
             None => args.op()?,
         };
-        let alg = parse_alg(args.req("alg")?)?;
         let ranks = args.req_usize("ranks")?;
         if ranks == 0 {
             return Err("--ranks must be at least 1".into());
@@ -65,6 +84,22 @@ impl LaunchSpec {
         let size = match args.opt("size") {
             None => 1024,
             Some(s) => parse_size(s).ok_or_else(|| format!("bad --size `{s}`"))?,
+        };
+        let (alg, select_table) = match args.opt("select") {
+            None => (parse_alg(args.req("alg")?)?, None),
+            Some("auto") => {
+                // Priors are priced on the machine model named by
+                // `--machine` (the TCP world itself has no α-β-γ
+                // parameters); observations then come from real sockets.
+                let machine =
+                    crate::args::parse_machine(args.opt("machine").unwrap_or("testbed"), ranks, 1)?;
+                let bytes = input_len_of(op, ranks, size);
+                let (svc, alg) = crate::commands::resolve_auto(args, op, ranks, bytes, &machine)?;
+                drop(svc); // reloaded fresh at feedback time
+                eprintln!("select: auto resolved {op} p={ranks} -> {alg}");
+                (alg, Some(crate::commands::table_path(args).to_string()))
+            }
+            Some(other) => return Err(format!("--select supports only `auto` (got `{other}`)")),
         };
         let timeout = Duration::from_secs(args.opt_usize("timeout", 120)? as u64);
         alg.supports(op, ranks)?;
@@ -74,23 +109,13 @@ impl LaunchSpec {
             ranks,
             size,
             timeout,
+            select_table,
         })
     }
 
-    /// Per-rank input length, mirroring `ProfileSpec::input_len`: alltoall
-    /// needs a multiple of `p`, barrier carries no payload.
+    /// Per-rank input length.
     fn input_len(&self) -> usize {
-        match self.op {
-            CollectiveOp::Alltoall => {
-                if self.size < self.ranks {
-                    self.ranks
-                } else {
-                    self.size - self.size % self.ranks
-                }
-            }
-            CollectiveOp::Barrier => 0,
-            _ => self.size,
-        }
+        input_len_of(self.op, self.ranks, self.size)
     }
 
     /// The worker argv re-invoking this spec (parseable by
@@ -434,6 +459,7 @@ pub fn profile_tcp(spec: &ProfileSpec) -> Result<BackendRun, String> {
         ranks: spec.ranks(),
         size: spec.size,
         timeout: Duration::from_secs(120),
+        select_table: None,
     };
     let timelines = run_local_world(&launch, true)?.expect("timelines requested");
     let makespan = makespan_ns(&timelines);
@@ -469,6 +495,9 @@ fn launcher(args: &Args) -> Result<(), String> {
     if record.is_some() && spawn_n != spec.ranks {
         return Err("--record needs all ranks local (don't combine with --spawn)".into());
     }
+    if spec.select_table.is_some() && spawn_n != spec.ranks {
+        return Err("--select auto needs all ranks local (don't combine with --spawn)".into());
+    }
 
     let bind = args.opt("bind").unwrap_or("127.0.0.1:0");
     let listener =
@@ -493,7 +522,9 @@ fn launcher(args: &Args) -> Result<(), String> {
         }
     }
 
-    let tl_dir = if chrome.is_some() {
+    // Timelines are needed for a Chrome trace *and* for feeding the
+    // measured makespan back into the selection table.
+    let tl_dir = if chrome.is_some() || spec.select_table.is_some() {
         Some(scratch_dir()?)
     } else {
         None
@@ -531,17 +562,36 @@ fn launcher(args: &Args) -> Result<(), String> {
                 failures.join("\n  ")
             ));
         }
-        if let (Some(dir), Some(path)) = (&tl_dir, chrome) {
+        if let Some(dir) = &tl_dir {
             let timelines = collect_timelines(dir, spec.ranks)?;
-            let doc = chrome_trace(&[("tcp", timelines.as_slice())]);
-            let tracks = rank_tracks(&doc)?;
-            std::fs::write(path, doc.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!(
-                "chrome trace written to {path} ({} track(s), makespan {:.3} us); \
-                 open it at https://ui.perfetto.dev",
-                tracks.len(),
-                makespan_ns(&timelines) / 1000.0
-            );
+            if let Some(path) = chrome {
+                let doc = chrome_trace(&[("tcp", timelines.as_slice())]);
+                let tracks = rank_tracks(&doc)?;
+                std::fs::write(path, doc.pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!(
+                    "chrome trace written to {path} ({} track(s), makespan {:.3} us); \
+                     open it at https://ui.perfetto.dev",
+                    tracks.len(),
+                    makespan_ns(&timelines) / 1000.0
+                );
+            }
+            if spec.select_table.is_some() {
+                crate::commands::record_feedback(
+                    // Reload rather than reuse the resolve-time instance, so
+                    // concurrent launches at worst lose an observation
+                    // instead of resurrecting a stale table.
+                    &exacoll_select::SelectionService::load_or_new(
+                        crate::commands::table_path(args),
+                        exacoll_select::Policy::default(),
+                    )?,
+                    args,
+                    spec.op,
+                    spec.ranks,
+                    spec.input_len(),
+                    spec.alg,
+                    &[makespan_ns(&timelines)],
+                )?;
+            }
         }
         Ok(())
     })();
@@ -619,6 +669,33 @@ mod tests {
         assert!(err.contains("tcp backend only"), "got: {err}");
         let err = launcher(&args("launch allreduce --alg ring --ranks 2 --spawn 3")).unwrap_err();
         assert!(err.contains("--spawn"), "got: {err}");
+    }
+
+    #[test]
+    fn launch_spec_resolves_select_auto_without_alg() {
+        let dir = std::env::temp_dir().join(format!("exacoll-launch-auto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = dir.join("table.json");
+        let spec = LaunchSpec::from_args(&args(&format!(
+            "launch allreduce --select auto --ranks 4 --size 1K --table {}",
+            table.display()
+        )))
+        .unwrap();
+        assert!(spec.alg.supports(CollectiveOp::Allreduce, 4).is_ok());
+        assert_eq!(
+            spec.select_table.as_deref(),
+            Some(&*table.display().to_string())
+        );
+        // Lazy seeding persisted the priors.
+        assert!(table.exists());
+        // A second resolve reuses the learned table (no reseeding crash).
+        let again = LaunchSpec::from_args(&args(&format!(
+            "launch allreduce --select auto --ranks 4 --size 1K --table {}",
+            table.display()
+        )))
+        .unwrap();
+        assert_eq!(again.alg, spec.alg);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -144,6 +144,12 @@ pub enum Algorithm {
         /// Digit radix.
         r: usize,
     },
+    /// Deferred choice: "ask the selection service". `Auto` is a request,
+    /// not a plan — it must be resolved to a concrete algorithm (via
+    /// `exacoll_select` or [`default_algorithm`]) before lowering;
+    /// [`Algorithm::supports`] rejects it for every collective so an
+    /// unresolved `Auto` can never reach the engine silently.
+    Auto,
 }
 
 impl Algorithm {
@@ -198,6 +204,12 @@ impl Algorithm {
         if p == 0 {
             return Err("empty communicator".into());
         }
+        if matches!(self, Auto) {
+            return Err(format!(
+                "`auto` must be resolved to a concrete algorithm before running {op} \
+                 (consult the selection service or default_algorithm)"
+            ));
+        }
         let ok_ops: &[CollectiveOp] = match self {
             // For Alltoall, `Linear` is the spread-out (post-everything)
             // algorithm, MPICH's isend_irecv.
@@ -212,6 +224,7 @@ impl Algorithm {
             Hierarchical { .. } => &[Allreduce],
             Pairwise => &[Alltoall],
             GeneralizedBruck { .. } => &[Alltoall],
+            Auto => unreachable!("rejected above"),
         };
         if !ok_ops.contains(&op) {
             return Err(format!("{self} does not implement {op}"));
@@ -256,7 +269,26 @@ impl fmt::Display for Algorithm {
             Algorithm::Hierarchical { ppn, k } => write!(f, "hier({ppn},{k})"),
             Algorithm::Pairwise => write!(f, "pairwise"),
             Algorithm::GeneralizedBruck { r } => write!(f, "gbruck({r})"),
+            Algorithm::Auto => write!(f, "auto"),
         }
+    }
+}
+
+/// The MPICH-style fixed default for `op`: what runs when no selection rule
+/// or learned table entry matches (binomial trees, recursive doubling, ring,
+/// classic dissemination, pairwise). One shared definition so the offline
+/// `Selector` rules, the online selection service, and the tests all agree
+/// on the fallback.
+pub fn default_algorithm(op: CollectiveOp) -> Algorithm {
+    match op {
+        CollectiveOp::Bcast | CollectiveOp::Reduce | CollectiveOp::Gather => {
+            Algorithm::KnomialTree { k: 2 }
+        }
+        CollectiveOp::Allgather => Algorithm::Ring,
+        CollectiveOp::Allreduce => Algorithm::RecursiveMultiplying { k: 2 },
+        CollectiveOp::Barrier => Algorithm::Dissemination { k: 2 },
+        CollectiveOp::Alltoall => Algorithm::Pairwise,
+        CollectiveOp::ReduceScatter => Algorithm::Ring,
     }
 }
 

@@ -11,7 +11,7 @@ use crate::registry::{Algorithm, CollectiveOp};
 use exacoll_comm::{DType, ReduceOp};
 
 /// The algorithm spec grammar, for error messages.
-pub const ALG_SPECS: &str = "linear|ring|bruck|pairwise|binomial|recdoubling|\
+pub const ALG_SPECS: &str = "auto|linear|ring|bruck|pairwise|binomial|recdoubling|\
 knomial:K|recmult:K|kring:K|reduce+bcast:K|dissemination:K|gbruck:R|hier:PPN:K";
 
 /// Parse a collective name as rendered by [`CollectiveOp`]'s `Display`.
@@ -40,6 +40,7 @@ pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
             .map_err(|_| format!("bad radix in `{spec}`"))
     };
     let alg = match head {
+        "auto" => Algorithm::Auto,
         "linear" | "spread" => Algorithm::Linear,
         "ring" => Algorithm::Ring,
         "bruck" => Algorithm::Bruck,
@@ -81,6 +82,7 @@ pub fn parse_alg(spec: &str) -> Result<Algorithm, String> {
 /// artifacts need the parseable `recmult:4` form instead.
 pub fn alg_to_spec(alg: &Algorithm) -> String {
     match alg {
+        Algorithm::Auto => "auto".into(),
         Algorithm::Linear => "linear".into(),
         Algorithm::Ring => "ring".into(),
         Algorithm::Bruck => "bruck".into(),
@@ -155,6 +157,18 @@ mod tests {
         }
         assert!(parse_dtype("u128").is_err());
         assert!(parse_rop("land").is_err());
+    }
+
+    #[test]
+    fn auto_round_trips_but_never_supports() {
+        use crate::registry::CollectiveOp;
+        assert_eq!(parse_alg("auto").unwrap(), Algorithm::Auto);
+        assert_eq!(alg_to_spec(&Algorithm::Auto), "auto");
+        assert_eq!(Algorithm::Auto.to_string(), "auto");
+        for op in CollectiveOp::ALL {
+            let err = Algorithm::Auto.supports(op, 8).unwrap_err();
+            assert!(err.contains("resolved"), "{op}: {err}");
+        }
     }
 
     #[test]

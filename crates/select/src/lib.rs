@@ -1,0 +1,38 @@
+//! # exacoll-select — the online algorithm-selection service
+//!
+//! The paper's §VI-G selection tables are built by exhaustive offline
+//! benchmarking and then frozen. This crate turns selection into a living
+//! subsystem, closing the loop between the schedule-IR cost model and the
+//! measurement layer:
+//!
+//! * **Priors** — each (collective, p, size-bucket) is seeded by pricing
+//!   every deduplicated candidate's lowered schedules with
+//!   [`exacoll_sim::cost`], the same discrete-event model the autotuner
+//!   sweeps.
+//! * **Refinement** — observed makespans from real runs (TCP launches,
+//!   threaded profiles) are folded into per-candidate running estimates;
+//!   a deterministic UCB-style [`Policy`] blends prior and evidence so
+//!   mispredicted priors get corrected and the winner flips when
+//!   measurements disagree with the model.
+//! * **Lock-free lookups** — winners are published as immutable
+//!   [`Snapshot`]s behind an atomic pointer (RCU style). The hot path
+//!   ([`SelectionService::lookup`]) is an acquire load, a binary search
+//!   over rank counts, and an array index: no mutex, no allocation, no
+//!   reference-count traffic.
+//! * **Persistence** — the learned state serializes byte-stably through
+//!   `exacoll-json` (versioned `exacoll-select/v1`), saves atomically
+//!   (temp file + rename), and reloads on start, so tables keep improving
+//!   across process lifetimes.
+//! * **Accountability** — [`SelectionService::diff`] reports every bucket
+//!   where learning overruled the model, rendered deterministically by
+//!   [`diff::render`].
+
+pub mod diff;
+pub mod policy;
+pub mod service;
+pub mod table;
+
+pub use diff::DiffRow;
+pub use policy::{Cell, Policy};
+pub use service::{SelectionService, FORMAT};
+pub use table::{bucket_of_bytes, bucket_range, op_index, Snapshot, NUM_BUCKETS, NUM_OPS};

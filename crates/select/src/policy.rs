@@ -1,0 +1,163 @@
+//! Explore/exploit policy over per-cell running estimates.
+//!
+//! Each cell tracks one candidate algorithm for one (op, p, size-bucket):
+//! the cost-model prior and a running sum of observed makespans. The policy
+//! blends them into a latency estimate and discounts it by a deterministic
+//! UCB-style confidence bonus, so under-sampled candidates look slightly
+//! better than their point estimate and get re-tried across publishes. No
+//! randomness is involved anywhere: the same stats always elect the same
+//! winner, which keeps published tables, persisted files, and diff output
+//! reproducible.
+
+use exacoll_core::Algorithm;
+
+/// Tunables of the explore/exploit policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// How many observations the cost-model prior is worth. Higher values
+    /// make the table slower to abandon the model when measurements
+    /// disagree with it.
+    pub prior_weight: f64,
+    /// Strength of the optimism-under-uncertainty bonus; `0.0` is pure
+    /// exploitation (argmin of the blended estimate).
+    pub explore: f64,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            prior_weight: 3.0,
+            explore: 0.5,
+        }
+    }
+}
+
+/// Running state for one candidate algorithm within one (op, p, bucket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The candidate.
+    pub alg: Algorithm,
+    /// Cost-model prediction for this bucket, ns (absent until seeded).
+    pub prior_ns: Option<f64>,
+    /// Sum of observed makespans, ns.
+    pub obs_sum_ns: f64,
+    /// Number of observations folded into `obs_sum_ns`.
+    pub obs_n: u64,
+}
+
+impl Cell {
+    /// A fresh cell with neither prior nor observations.
+    pub fn new(alg: Algorithm) -> Cell {
+        Cell {
+            alg,
+            prior_ns: None,
+            obs_sum_ns: 0.0,
+            obs_n: 0,
+        }
+    }
+
+    /// Blended latency estimate: the prior acts as `prior_weight` synthetic
+    /// observations. A cell with neither prior nor data estimates infinity,
+    /// so it can never beat a candidate we know anything about.
+    pub fn estimate_ns(&self, policy: &Policy) -> f64 {
+        let n = self.obs_n as f64;
+        match self.prior_ns {
+            Some(prior) => {
+                (prior * policy.prior_weight + self.obs_sum_ns) / (policy.prior_weight + n)
+            }
+            None if self.obs_n > 0 => self.obs_sum_ns / n,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Estimate discounted by the confidence bonus: dividing by
+    /// `1 + explore·sqrt(ln(1+total)/(1+n))` shrinks under-sampled cells
+    /// toward attractiveness as the bucket's total sample count grows.
+    pub fn score(&self, policy: &Policy, total_obs: u64) -> f64 {
+        let bonus =
+            policy.explore * ((1.0 + total_obs as f64).ln() / (1.0 + self.obs_n as f64)).sqrt();
+        self.estimate_ns(policy) / (1.0 + bonus)
+    }
+}
+
+/// The candidate the policy elects for a bucket: argmin score, ties broken
+/// by cell order (cells are kept sorted by spec string, so this is stable
+/// across processes and reloads). `None` when no cell has any information.
+pub fn winner(cells: &[Cell], policy: &Policy) -> Option<Algorithm> {
+    let total: u64 = cells.iter().map(|c| c.obs_n).sum();
+    cells
+        .iter()
+        .filter(|c| c.estimate_ns(policy).is_finite())
+        .min_by(|a, b| a.score(policy, total).total_cmp(&b.score(policy, total)))
+        .map(|c| c.alg)
+}
+
+/// The candidate the cost model alone would pick (argmin prior), ignoring
+/// every observation. `None` when the bucket was never seeded.
+pub fn prior_winner(cells: &[Cell]) -> Option<Algorithm> {
+    cells
+        .iter()
+        .filter_map(|c| c.prior_ns.map(|p| (c.alg, p)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(alg, _)| alg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(alg: Algorithm, prior: f64, sum: f64, n: u64) -> Cell {
+        Cell {
+            alg,
+            prior_ns: Some(prior),
+            obs_sum_ns: sum,
+            obs_n: n,
+        }
+    }
+
+    #[test]
+    fn prior_decides_before_any_observation() {
+        let p = Policy::default();
+        let cells = [
+            cell(Algorithm::Ring, 200.0, 0.0, 0),
+            cell(Algorithm::Bruck, 100.0, 0.0, 0),
+        ];
+        assert_eq!(winner(&cells, &p), Some(Algorithm::Bruck));
+        assert_eq!(prior_winner(&cells), Some(Algorithm::Bruck));
+    }
+
+    #[test]
+    fn strong_contradicting_evidence_flips_the_winner() {
+        let p = Policy::default();
+        // Model says bruck wins, but 30 measurements say ring is 10x
+        // faster than its prior and bruck 10x slower.
+        let cells = [
+            cell(Algorithm::Bruck, 100.0, 30.0 * 1000.0, 30),
+            cell(Algorithm::Ring, 200.0, 30.0 * 20.0, 30),
+        ];
+        assert_eq!(winner(&cells, &p), Some(Algorithm::Ring));
+        // The model's opinion is unchanged.
+        assert_eq!(prior_winner(&cells), Some(Algorithm::Bruck));
+    }
+
+    #[test]
+    fn uninformed_cells_never_win() {
+        let p = Policy::default();
+        let cells = [
+            Cell::new(Algorithm::Ring),
+            cell(Algorithm::Bruck, 5e9, 0.0, 0),
+        ];
+        assert_eq!(winner(&cells, &p), Some(Algorithm::Bruck));
+        assert_eq!(winner(&[Cell::new(Algorithm::Ring)], &p), None);
+    }
+
+    #[test]
+    fn zero_explore_is_pure_exploitation() {
+        let p = Policy {
+            prior_weight: 1.0,
+            explore: 0.0,
+        };
+        let a = cell(Algorithm::Ring, 100.0, 0.0, 0);
+        assert_eq!(a.score(&p, 1_000_000), a.estimate_ns(&p));
+    }
+}

@@ -1,0 +1,501 @@
+//! The selection service: RCU-style snapshot publication, cost-model
+//! priors, online refinement, and byte-stable persistence.
+//!
+//! Writer side (priors, observations, publishes, persistence) serializes
+//! through one mutex. Reader side ([`SelectionService::lookup`]) is an
+//! atomic pointer load plus array indexing — no lock, no allocation, no
+//! reference counting. Publishing swaps in a freshly built [`Snapshot`];
+//! the displaced pointer goes to a retire list freed only when the service
+//! is dropped, because a reader that loaded it may still be dereferencing
+//! it. Memory is bounded by the number of publishes in the service's
+//! lifetime (one per ingest batch, not per lookup).
+
+use crate::policy::{prior_winner, winner, Cell, Policy};
+use crate::table::{bucket_of_bytes, op_index, Snapshot, World, NUM_BUCKETS, NUM_OPS};
+use exacoll_core::registry::{default_algorithm, lower, unique_candidates};
+use exacoll_core::spec::{alg_to_spec, parse_alg, parse_op};
+use exacoll_core::{Algorithm, CollArgs, CollectiveOp};
+use exacoll_json::Value;
+use exacoll_sim::{cost, Machine};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Version tag of the persisted table format.
+pub const FORMAT: &str = "exacoll-select/v1";
+
+/// A stats key: (op index, rank count, size bucket). `op_index` first so
+/// serialized entries group by collective.
+type Key = (usize, usize, usize);
+
+/// A retired snapshot pointer. Only ever dereferenced to free it under
+/// `&mut self` (Drop), when no reader can exist.
+struct Retired(*mut Snapshot);
+// SAFETY: the pointer is uniquely owned by the retire list (readers only
+// borrow through it) and is freed exactly once, under exclusive access.
+unsafe impl Send for Retired {}
+
+/// Writer-side state, behind the service's mutex.
+struct Inner {
+    /// Per-key candidate cells, kept sorted by `alg_to_spec` so winner
+    /// tie-breaks and serialization order are canonical.
+    stats: BTreeMap<Key, Vec<Cell>>,
+    retired: Vec<Retired>,
+}
+
+/// The in-process selection service. Share it by reference (it is `Sync`);
+/// every method takes `&self`.
+pub struct SelectionService {
+    snap: AtomicPtr<Snapshot>,
+    inner: Mutex<Inner>,
+    policy: Policy,
+}
+
+impl std::fmt::Debug for SelectionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectionService")
+            .field("policy", &self.policy)
+            .field("tracked", &self.tracked())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SelectionService {
+    /// An empty service: every lookup misses until priors are seeded or
+    /// observations arrive and `publish` runs.
+    pub fn new(policy: Policy) -> SelectionService {
+        SelectionService {
+            snap: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::empty()))),
+            inner: Mutex::new(Inner {
+                stats: BTreeMap::new(),
+                retired: Vec::new(),
+            }),
+            policy,
+        }
+    }
+
+    /// The policy this service scores with.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The published winner for (op, p, bytes). **The hot path**: one
+    /// acquire load, one binary search over rank counts, one array index.
+    /// No lock is taken and nothing is allocated.
+    #[inline]
+    pub fn lookup(&self, op: CollectiveOp, p: usize, bytes: usize) -> Option<Algorithm> {
+        // SAFETY: `snap` always holds a valid pointer — it is initialized
+        // non-null and displaced pointers are only freed in Drop, which
+        // requires `&mut self` and therefore no outstanding readers.
+        let snap = unsafe { &*self.snap.load(Ordering::Acquire) };
+        snap.lookup(op, p, bytes)
+    }
+
+    /// Resolve a concrete algorithm: the published winner, or the
+    /// MPICH-style default when the table has no opinion yet.
+    #[inline]
+    pub fn select(&self, op: CollectiveOp, p: usize, bytes: usize) -> Algorithm {
+        self.lookup(op, p, bytes)
+            .unwrap_or_else(|| default_algorithm(op))
+    }
+
+    /// Price every deduplicated candidate for (op, p=machine.ranks(),
+    /// bucket-of-`bytes`) with the IR cost model and record the results as
+    /// priors. Existing observations for the bucket are kept; only the
+    /// prior component is (re)written. Returns the number of candidates
+    /// priced. Call [`publish`](Self::publish) to expose the result.
+    pub fn seed_point(
+        &self,
+        machine: &Machine,
+        op: CollectiveOp,
+        bytes: usize,
+        max_k: usize,
+    ) -> Result<usize, String> {
+        let p = machine.ranks();
+        // Lowering rejects malformed shapes, so normalize the probe payload
+        // the way launch/profile normalize theirs: alltoall and
+        // reduce-scatter want p-divisible inputs, barrier carries none.
+        let n = match op {
+            CollectiveOp::Alltoall | CollectiveOp::ReduceScatter => bytes.max(p).div_ceil(p) * p,
+            CollectiveOp::Barrier => 0,
+            _ => bytes.max(1),
+        };
+        let cands = unique_candidates(op, p, max_k);
+        let mut priced = Vec::with_capacity(cands.len());
+        for alg in cands {
+            let args = CollArgs::new(op, alg);
+            let plans: Vec<_> = (0..p).map(|r| lower(&args, p, r, n)).collect();
+            let outcome = cost(machine, &plans)
+                .map_err(|e| format!("pricing {op}/{alg} p={p} n={n}: {e}"))?;
+            priced.push((alg, outcome.makespan.as_nanos()));
+        }
+        let key = (op_index(op), p, bucket_of_bytes(bytes));
+        let mut inner = self.lock();
+        for (alg, prior_ns) in &priced {
+            upsert(inner.stats.entry(key).or_default(), *alg).prior_ns = Some(*prior_ns);
+        }
+        Ok(priced.len())
+    }
+
+    /// Full prior sweep: seed every (op, size) point. Fails on the first
+    /// unpriceable point.
+    pub fn seed_priors(
+        &self,
+        machine: &Machine,
+        ops: &[CollectiveOp],
+        sizes: &[usize],
+        max_k: usize,
+    ) -> Result<usize, String> {
+        let mut priced = 0;
+        for &op in ops {
+            for &bytes in sizes {
+                priced += self.seed_point(machine, op, bytes, max_k)?;
+            }
+        }
+        Ok(priced)
+    }
+
+    /// Whether the bucket for (op, p, bytes) has any candidate cells at
+    /// all (prior or observed).
+    pub fn knows(&self, op: CollectiveOp, p: usize, bytes: usize) -> bool {
+        let key = (op_index(op), p, bucket_of_bytes(bytes));
+        self.lock().stats.get(&key).is_some_and(|c| !c.is_empty())
+    }
+
+    /// Fold one measured makespan into the running estimate for
+    /// (op, p, bucket-of-`bytes`, alg). Not published until
+    /// [`publish`](Self::publish).
+    pub fn observe(
+        &self,
+        op: CollectiveOp,
+        p: usize,
+        bytes: usize,
+        alg: Algorithm,
+        measured_ns: f64,
+    ) {
+        if !measured_ns.is_finite() || measured_ns < 0.0 {
+            return;
+        }
+        let key = (op_index(op), p, bucket_of_bytes(bytes));
+        let mut inner = self.lock();
+        let cell = upsert(inner.stats.entry(key).or_default(), alg);
+        cell.obs_sum_ns += measured_ns;
+        cell.obs_n += 1;
+    }
+
+    /// Recompute every bucket's winner and atomically swap in the new
+    /// snapshot. Readers switch over at their next lookup; the displaced
+    /// snapshot is retired, not freed, since stragglers may still read it.
+    pub fn publish(&self) {
+        let mut inner = self.lock();
+        let mut worlds: BTreeMap<usize, World> = BTreeMap::new();
+        for (&(op_idx, p, bucket), cells) in &inner.stats {
+            let world = worlds.entry(p).or_insert_with(|| World {
+                p,
+                winners: vec![None; NUM_OPS * NUM_BUCKETS],
+            });
+            world.winners[op_idx * NUM_BUCKETS + bucket] = winner(cells, &self.policy);
+        }
+        let snap = Snapshot {
+            worlds: worlds.into_values().collect(),
+        };
+        let old = self
+            .snap
+            .swap(Box::into_raw(Box::new(snap)), Ordering::AcqRel);
+        inner.retired.push(Retired(old));
+    }
+
+    /// Number of (op, p, bucket) keys the writer has state for.
+    pub fn tracked(&self) -> usize {
+        self.lock().stats.len()
+    }
+
+    /// Visit every key's cells in canonical order (op, p, bucket).
+    pub fn for_each_bucket<F>(&self, mut f: F)
+    where
+        F: FnMut(CollectiveOp, usize, usize, &[Cell]),
+    {
+        let inner = self.lock();
+        for (&(op_idx, p, bucket), cells) in &inner.stats {
+            f(CollectiveOp::ALL[op_idx], p, bucket, cells);
+        }
+    }
+
+    /// Serialize the full learned state in the canonical `v1` layout.
+    /// Output is byte-stable: numbers print via the round-trip-exact
+    /// formatter and entries/cells are in canonical order, so
+    /// parse → re-serialize is the identity on bytes.
+    pub fn to_json(&self) -> Value {
+        let inner = self.lock();
+        let entries: Vec<Value> = inner
+            .stats
+            .iter()
+            .map(|(&(op_idx, p, bucket), cells)| {
+                let cells_json: Vec<Value> = cells
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("alg", Value::Str(alg_to_spec(&c.alg))),
+                            ("prior_ns", c.prior_ns.map_or(Value::Null, Value::Num)),
+                            ("obs_sum_ns", Value::Num(c.obs_sum_ns)),
+                            ("obs_n", Value::Num(c.obs_n as f64)),
+                        ])
+                    })
+                    .collect();
+                Value::obj(vec![
+                    ("op", Value::Str(CollectiveOp::ALL[op_idx].to_string())),
+                    ("p", Value::Num(p as f64)),
+                    ("bucket", Value::Num(bucket as f64)),
+                    ("cells", Value::Arr(cells_json)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("format", Value::Str(FORMAT.into())),
+            (
+                "policy",
+                Value::obj(vec![
+                    ("prior_weight", Value::Num(self.policy.prior_weight)),
+                    ("explore", Value::Num(self.policy.explore)),
+                ]),
+            ),
+            ("entries", Value::Arr(entries)),
+        ])
+    }
+
+    /// Rebuild a service (stats + policy) from its `v1` serialization and
+    /// publish the loaded table.
+    pub fn from_json(v: &Value) -> Result<SelectionService, String> {
+        let format = v.req("format")?.as_str()?;
+        if format != FORMAT {
+            return Err(format!(
+                "unsupported table format `{format}` (expected {FORMAT})"
+            ));
+        }
+        let pol = v.req("policy")?;
+        let policy = Policy {
+            prior_weight: pol.req("prior_weight")?.as_f64()?,
+            explore: pol.req("explore")?.as_f64()?,
+        };
+        let service = SelectionService::new(policy);
+        {
+            let mut inner = service.lock();
+            for entry in v.req("entries")?.as_arr()? {
+                let op = parse_op(entry.req("op")?.as_str()?)?;
+                let p = entry.req("p")?.as_usize()?;
+                let bucket = entry.req("bucket")?.as_usize()?;
+                if bucket >= NUM_BUCKETS {
+                    return Err(format!("bucket {bucket} out of range"));
+                }
+                let key = (op_index(op), p, bucket);
+                let cells: &mut Vec<Cell> = inner.stats.entry(key).or_default();
+                for cv in entry.req("cells")?.as_arr()? {
+                    let alg = parse_alg(cv.req("alg")?.as_str()?)?;
+                    if matches!(alg, Algorithm::Auto) {
+                        return Err("`auto` cannot appear as a table candidate".into());
+                    }
+                    let cell = upsert(cells, alg);
+                    let prior = cv.req("prior_ns")?;
+                    cell.prior_ns = if prior.is_null() {
+                        None
+                    } else {
+                        Some(prior.as_f64()?)
+                    };
+                    cell.obs_sum_ns = cv.req("obs_sum_ns")?.as_f64()?;
+                    cell.obs_n = cv.req("obs_n")?.as_usize()? as u64;
+                }
+            }
+        }
+        service.publish();
+        Ok(service)
+    }
+
+    /// Atomically persist the table: write a sibling temp file, then
+    /// rename over `path`, so a crash mid-save never corrupts the table.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, self.to_json().pretty()).map_err(|e| format!("writing {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} -> {path}: {e}"))
+    }
+
+    /// Load a persisted table.
+    pub fn load(path: &str) -> Result<SelectionService, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let v = exacoll_json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        SelectionService::from_json(&v)
+    }
+
+    /// Load `path` if it exists, otherwise start empty with `policy`.
+    /// A present-but-corrupt table is an error, not a silent reset.
+    pub fn load_or_new(path: &str, policy: Policy) -> Result<SelectionService, String> {
+        if std::path::Path::new(path).exists() {
+            SelectionService::load(path)
+        } else {
+            Ok(SelectionService::new(policy))
+        }
+    }
+
+    /// Every (op, p, bucket) where measurements have flipped the choice
+    /// away from the cost model's pick, in canonical order.
+    pub fn diff(&self) -> Vec<crate::diff::DiffRow> {
+        let inner = self.lock();
+        let mut rows = Vec::new();
+        for (&(op_idx, p, bucket), cells) in &inner.stats {
+            let (Some(prior), Some(learned)) = (prior_winner(cells), winner(cells, &self.policy))
+            else {
+                continue;
+            };
+            if prior == learned {
+                continue;
+            }
+            let est = |alg: Algorithm| {
+                cells
+                    .iter()
+                    .find(|c| c.alg == alg)
+                    .map_or(f64::NAN, |c| c.estimate_ns(&self.policy))
+            };
+            rows.push(crate::diff::DiffRow {
+                op: CollectiveOp::ALL[op_idx],
+                p,
+                bucket,
+                prior,
+                learned,
+                prior_est_ns: est(prior),
+                learned_est_ns: est(learned),
+                samples: cells.iter().map(|c| c.obs_n).sum(),
+            });
+        }
+        rows
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for SelectionService {
+    fn drop(&mut self) {
+        // Exclusive access: no reader can hold any snapshot pointer now.
+        let cur = *self.snap.get_mut();
+        // SAFETY: `cur` came from Box::into_raw and was never freed (only
+        // retired pointers are, below, and the current one is not retired).
+        unsafe { drop(Box::from_raw(cur)) };
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        for Retired(ptr) in inner.retired.drain(..) {
+            // SAFETY: each retired pointer was displaced from `snap` exactly
+            // once and is freed exactly once, here.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// The cell for `alg`, inserting (in canonical spec order) if absent.
+fn upsert(cells: &mut Vec<Cell>, alg: Algorithm) -> &mut Cell {
+    let spec = alg_to_spec(&alg);
+    let idx = match cells.binary_search_by(|c| alg_to_spec(&c.alg).cmp(&spec)) {
+        Ok(i) => i,
+        Err(i) => {
+            cells.insert(i, Cell::new(alg));
+            i
+        }
+    };
+    &mut cells[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_service_misses_and_falls_back() {
+        let s = SelectionService::new(Policy::default());
+        assert_eq!(s.lookup(CollectiveOp::Allreduce, 8, 1024), None);
+        assert_eq!(
+            s.select(CollectiveOp::Allreduce, 8, 1024),
+            default_algorithm(CollectiveOp::Allreduce)
+        );
+    }
+
+    #[test]
+    fn seeded_priors_publish_a_winner() {
+        let m = Machine::testbed(4, 1, 2);
+        let s = SelectionService::new(Policy::default());
+        let priced = s.seed_point(&m, CollectiveOp::Allreduce, 1024, 4).unwrap();
+        assert!(priced >= 2, "expected several candidates, got {priced}");
+        // Not visible until published.
+        assert_eq!(s.lookup(CollectiveOp::Allreduce, 4, 1024), None);
+        s.publish();
+        let alg = s
+            .lookup(CollectiveOp::Allreduce, 4, 1024)
+            .expect("published");
+        assert!(alg.supports(CollectiveOp::Allreduce, 4).is_ok());
+        // Other buckets and worlds still miss.
+        assert_eq!(s.lookup(CollectiveOp::Allreduce, 8, 1024), None);
+        assert_eq!(s.lookup(CollectiveOp::Bcast, 4, 1024), None);
+    }
+
+    #[test]
+    fn observations_refine_and_flip() {
+        let m = Machine::testbed(4, 1, 2);
+        let s = SelectionService::new(Policy::default());
+        s.seed_point(&m, CollectiveOp::Allreduce, 1024, 4).unwrap();
+        s.publish();
+        let before = s.lookup(CollectiveOp::Allreduce, 4, 1024).unwrap();
+        // Find some other candidate and report it much faster.
+        let mut rival = None;
+        s.for_each_bucket(|op, p, bucket, cells| {
+            if op == CollectiveOp::Allreduce && p == 4 && bucket == bucket_of_bytes(1024) {
+                rival = cells.iter().map(|c| c.alg).find(|&a| a != before);
+            }
+        });
+        let rival = rival.expect("at least two candidates");
+        for _ in 0..40 {
+            s.observe(CollectiveOp::Allreduce, 4, 1024, rival, 10.0);
+            s.observe(CollectiveOp::Allreduce, 4, 1024, before, 1e9);
+        }
+        s.publish();
+        assert_eq!(s.lookup(CollectiveOp::Allreduce, 4, 1024), Some(rival));
+        assert_eq!(s.diff().len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let m = Machine::testbed(4, 1, 2);
+        let s = SelectionService::new(Policy::default());
+        s.seed_priors(
+            &m,
+            &[CollectiveOp::Allreduce, CollectiveOp::Bcast],
+            &[64, 4096],
+            4,
+        )
+        .unwrap();
+        s.observe(CollectiveOp::Allreduce, 4, 64, Algorithm::Ring, 1234.5);
+        let text = s.to_json().pretty();
+        let reloaded = SelectionService::from_json(&exacoll_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reloaded.to_json().pretty(), text);
+        assert_eq!(reloaded.tracked(), s.tracked());
+    }
+
+    #[test]
+    fn version_and_auto_are_rejected() {
+        let bad = Value::obj(vec![("format", Value::Str("exacoll-select/v0".into()))]);
+        assert!(SelectionService::from_json(&bad)
+            .unwrap_err()
+            .contains("unsupported"));
+        let auto = exacoll_json::parse(
+            r#"{"format":"exacoll-select/v1","policy":{"prior_weight":3,"explore":0.5},
+                "entries":[{"op":"bcast","p":4,"bucket":3,
+                "cells":[{"alg":"auto","prior_ns":1,"obs_sum_ns":0,"obs_n":0}]}]}"#,
+        )
+        .unwrap();
+        assert!(SelectionService::from_json(&auto)
+            .unwrap_err()
+            .contains("auto"));
+    }
+}

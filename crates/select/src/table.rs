@@ -1,0 +1,128 @@
+//! The read-side snapshot: an immutable, flat winner table.
+//!
+//! The hot path must be lock-free *and* allocation-free, so a snapshot is
+//! laid out for direct indexing: worlds sorted by rank count (binary
+//! search), and inside each world a flat `op × bucket` array of `Copy`
+//! winners. [`Snapshot::lookup`] touches nothing but these arrays.
+
+use exacoll_core::{Algorithm, CollectiveOp};
+
+/// Number of log₂ message-size buckets, shared with
+/// [`exacoll_obs::metrics`] so observed histograms and selection keys
+/// agree on edges: bucket 0 is `[0, 1)`, bucket `i ≥ 1` is `[2^(i-1), 2^i)`.
+pub const NUM_BUCKETS: usize = exacoll_obs::metrics::BUCKETS;
+
+/// Number of collectives (the rows of the per-world table).
+pub const NUM_OPS: usize = CollectiveOp::ALL.len();
+
+/// Dense index of an op, in [`CollectiveOp::ALL`] order.
+#[inline]
+pub fn op_index(op: CollectiveOp) -> usize {
+    match op {
+        CollectiveOp::Bcast => 0,
+        CollectiveOp::Reduce => 1,
+        CollectiveOp::Gather => 2,
+        CollectiveOp::Allgather => 3,
+        CollectiveOp::Allreduce => 4,
+        CollectiveOp::Barrier => 5,
+        CollectiveOp::Alltoall => 6,
+        CollectiveOp::ReduceScatter => 7,
+    }
+}
+
+/// The size bucket a payload of `bytes` falls into.
+#[inline]
+pub fn bucket_of_bytes(bytes: usize) -> usize {
+    exacoll_obs::metrics::bucket_of(bytes as f64)
+}
+
+/// Smallest payload in `bucket` — the representative size priors are
+/// priced at.
+pub fn bucket_floor(bucket: usize) -> usize {
+    if bucket == 0 {
+        0
+    } else {
+        1usize << (bucket - 1).min(62)
+    }
+}
+
+/// Human-readable `[lo, hi)` range of a bucket.
+pub fn bucket_range(bucket: usize) -> String {
+    if bucket == 0 {
+        "[0, 1)".into()
+    } else {
+        format!("[{}, {})", 1u128 << (bucket - 1), 1u128 << bucket)
+    }
+}
+
+/// One rank count's winner table.
+pub(crate) struct World {
+    pub(crate) p: usize,
+    /// `winners[op_index(op) * NUM_BUCKETS + bucket]`.
+    pub(crate) winners: Vec<Option<Algorithm>>,
+}
+
+/// An immutable published table. Built by the service's writer, read by
+/// everyone else through an atomic pointer.
+pub struct Snapshot {
+    /// Sorted by `p` for binary search.
+    pub(crate) worlds: Vec<World>,
+}
+
+impl Snapshot {
+    /// The snapshot a fresh service publishes: no worlds, every lookup
+    /// misses.
+    pub(crate) fn empty() -> Snapshot {
+        Snapshot { worlds: Vec::new() }
+    }
+
+    /// The published winner for (op, p, bytes), if the table has decided
+    /// one. Lock-free and allocation-free: one binary search plus one
+    /// array index.
+    #[inline]
+    pub fn lookup(&self, op: CollectiveOp, p: usize, bytes: usize) -> Option<Algorithm> {
+        let idx = self.worlds.binary_search_by(|w| w.p.cmp(&p)).ok()?;
+        self.worlds[idx].winners[op_index(op) * NUM_BUCKETS + bucket_of_bytes(bytes)]
+    }
+
+    /// Number of (op, p, bucket) keys with a published winner.
+    pub fn decided(&self) -> usize {
+        self.worlds
+            .iter()
+            .map(|w| w.winners.iter().filter(|c| c.is_some()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_index_matches_all_order() {
+        for (i, op) in CollectiveOp::ALL.into_iter().enumerate() {
+            assert_eq!(op_index(op), i);
+        }
+    }
+
+    #[test]
+    fn bucket_edges_match_metrics() {
+        assert_eq!(bucket_of_bytes(0), 0);
+        assert_eq!(bucket_of_bytes(1), 1);
+        assert_eq!(bucket_of_bytes(1024), 11);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(11), 1024);
+        assert_eq!(bucket_range(11), "[1024, 2048)");
+        // Every representative size maps back into its own bucket.
+        for b in 0..NUM_BUCKETS.min(40) {
+            assert_eq!(bucket_of_bytes(bucket_floor(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_always_misses() {
+        let s = Snapshot::empty();
+        assert_eq!(s.lookup(CollectiveOp::Allreduce, 8, 1024), None);
+        assert_eq!(s.decided(), 0);
+    }
+}

@@ -32,30 +32,39 @@ impl Default for AutotuneOptions {
 }
 
 /// Best algorithm per probed size for one collective.
-fn tune_op(machine: &Machine, op: CollectiveOp, opts: &AutotuneOptions) -> Vec<(usize, Algorithm)> {
+fn tune_op(
+    machine: &Machine,
+    op: CollectiveOp,
+    opts: &AutotuneOptions,
+) -> Result<Vec<(usize, Algorithm)>, String> {
     // Aliased configurations (radixes that lower to byte-identical plans,
     // e.g. recmult k=3 on p=4) would only re-simulate the same schedule, so
     // sweep the deduplicated candidate set.
     let cands = unique_candidates(op, machine.ranks(), opts.max_k);
-    opts.sizes
-        .iter()
-        .map(|&n| {
-            let best = cands
-                .iter()
-                .map(|&alg| {
-                    let t = latency(machine, op, alg, n)
-                        .unwrap_or_else(|e| panic!("autotune {op} {alg} n={n}: {e}"));
-                    (alg, t)
-                })
-                .min_by_key(|&(_, t)| t)
-                .expect("at least one candidate");
-            (n, best.0)
-        })
-        .collect()
+    let mut winners = Vec::with_capacity(opts.sizes.len());
+    for &n in &opts.sizes {
+        let mut best: Option<(Algorithm, exacoll_sim::SimTime)> = None;
+        for &alg in &cands {
+            let t = latency(machine, op, alg, n)
+                .map_err(|e| format!("autotune {op} {alg} n={n}: {e}"))?;
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((alg, t));
+            }
+        }
+        let (alg, _) =
+            best.ok_or_else(|| format!("autotune {op}: no candidates at p={}", machine.ranks()))?;
+        winners.push((n, alg));
+    }
+    Ok(winners)
 }
 
 /// Merge per-size winners into contiguous size-range rules.
-fn merge_rules(op: CollectiveOp, winners: &[(usize, Algorithm)]) -> Vec<SelectionRule> {
+///
+/// The output partitions `[0, ∞)`: the first rule starts at 0, each
+/// subsequent rule starts where its predecessor ends, and the last rule is
+/// open-ended — so a selector built from it has a winner for every size.
+/// Public so property tests can check that invariant directly.
+pub fn merge_rules(op: CollectiveOp, winners: &[(usize, Algorithm)]) -> Vec<SelectionRule> {
     let mut rules: Vec<SelectionRule> = Vec::new();
     let mut start = 0usize;
     let mut current: Option<Algorithm> = None;
@@ -87,10 +96,13 @@ fn merge_rules(op: CollectiveOp, winners: &[(usize, Algorithm)]) -> Vec<Selectio
 }
 
 /// Exhaustively sweep the machine and emit a selection configuration.
-pub fn autotune(machine: &Machine, opts: &AutotuneOptions) -> SelectionConfig {
+///
+/// Fails (instead of aborting the process) when any (op, alg, n) point in
+/// the sweep cannot be priced by the simulator.
+pub fn autotune(machine: &Machine, opts: &AutotuneOptions) -> Result<SelectionConfig, String> {
     let mut rules = Vec::new();
     for &op in &opts.ops {
-        let winners = tune_op(machine, op, opts);
+        let winners = tune_op(machine, op, opts)?;
         rules.extend(merge_rules(op, &winners));
     }
     let cfg = SelectionConfig {
@@ -98,8 +110,8 @@ pub fn autotune(machine: &Machine, opts: &AutotuneOptions) -> SelectionConfig {
         ranks: machine.ranks(),
         rules,
     };
-    cfg.validate().expect("autotuned config is valid");
-    cfg
+    cfg.validate()?;
+    Ok(cfg)
 }
 
 #[cfg(test)]
@@ -118,7 +130,7 @@ mod tests {
     #[test]
     fn autotune_emits_valid_config() {
         let m = Machine::frontier(8, 1);
-        let cfg = autotune(&m, &small_opts());
+        let cfg = autotune(&m, &small_opts()).unwrap();
         assert!(cfg.validate().is_ok());
         assert!(!cfg.rules.is_empty());
         assert_eq!(cfg.ranks, 8);
@@ -130,7 +142,7 @@ mod tests {
     #[test]
     fn selector_from_autotune_always_answers() {
         let m = Machine::frontier(8, 1);
-        let sel = Selector::new(autotune(&m, &small_opts())).unwrap();
+        let sel = Selector::new(autotune(&m, &small_opts()).unwrap()).unwrap();
         for op in CollectiveOp::EVALUATED {
             for n in [8usize, 400, 1 << 22] {
                 let alg = sel.select(op, n);
@@ -143,7 +155,7 @@ mod tests {
     fn tuned_choice_beats_or_ties_the_fixed_default_it_replaces() {
         let m = Machine::frontier(8, 1);
         let opts = small_opts();
-        let sel = Selector::new(autotune(&m, &opts)).unwrap();
+        let sel = Selector::new(autotune(&m, &opts).unwrap()).unwrap();
         for &n in &opts.sizes {
             let tuned = sel.select(CollectiveOp::Reduce, n);
             let t_tuned = latency(&m, CollectiveOp::Reduce, tuned, n).unwrap();

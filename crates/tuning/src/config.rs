@@ -53,6 +53,10 @@ pub enum AlgSpec {
         /// Digit radix.
         r: usize,
     },
+    /// Deferred choice. Round-trips through JSON for completeness, but
+    /// [`SelectionConfig::validate`] rejects any rule carrying it — a rule
+    /// that answers "ask the service" answers nothing.
+    Auto,
 }
 
 impl From<Algorithm> for AlgSpec {
@@ -69,6 +73,7 @@ impl From<Algorithm> for AlgSpec {
             Algorithm::Hierarchical { ppn, k } => AlgSpec::Hierarchical { ppn, k },
             Algorithm::Pairwise => AlgSpec::Pairwise,
             Algorithm::GeneralizedBruck { r } => AlgSpec::GeneralizedBruck { r },
+            Algorithm::Auto => AlgSpec::Auto,
         }
     }
 }
@@ -87,6 +92,7 @@ impl AlgSpec {
             AlgSpec::Hierarchical { ppn, k } => ("hierarchical", vec![("ppn", ppn), ("k", k)]),
             AlgSpec::Pairwise => ("pairwise", vec![]),
             AlgSpec::GeneralizedBruck { r } => ("generalized_bruck", vec![("r", r)]),
+            AlgSpec::Auto => ("auto", vec![]),
         };
         let mut fields = vec![("kind", Value::Str(kind.into()))];
         fields.extend(params.into_iter().map(|(n, v)| (n, Value::Num(v as f64))));
@@ -110,6 +116,7 @@ impl AlgSpec {
             }),
             "pairwise" => Ok(AlgSpec::Pairwise),
             "generalized_bruck" => Ok(AlgSpec::GeneralizedBruck { r: field("r")? }),
+            "auto" => Ok(AlgSpec::Auto),
             other => Err(format!("unknown algorithm kind `{other}`")),
         }
     }
@@ -129,6 +136,7 @@ impl From<AlgSpec> for Algorithm {
             AlgSpec::Hierarchical { ppn, k } => Algorithm::Hierarchical { ppn, k },
             AlgSpec::Pairwise => Algorithm::Pairwise,
             AlgSpec::GeneralizedBruck { r } => Algorithm::GeneralizedBruck { r },
+            AlgSpec::Auto => Algorithm::Auto,
         }
     }
 }
@@ -260,7 +268,8 @@ impl SelectionRule {
         })
     }
 
-    fn matches(&self, op: CollectiveOp, n: usize) -> bool {
+    /// Whether this rule governs a `n`-byte invocation of `op`.
+    pub fn matches(&self, op: CollectiveOp, n: usize) -> bool {
         OpSpec::from(op) == self.op && n >= self.min_size && self.max_size.is_none_or(|m| n < m)
     }
 }
@@ -348,16 +357,7 @@ impl Selector {
             }
         }
         // MPICH-style defaults when no rule matches.
-        match op {
-            CollectiveOp::Bcast | CollectiveOp::Reduce | CollectiveOp::Gather => {
-                Algorithm::KnomialTree { k: 2 }
-            }
-            CollectiveOp::Allgather => Algorithm::Ring,
-            CollectiveOp::Allreduce => Algorithm::RecursiveMultiplying { k: 2 },
-            CollectiveOp::Barrier => Algorithm::Dissemination { k: 2 },
-            CollectiveOp::Alltoall => Algorithm::Pairwise,
-            CollectiveOp::ReduceScatter => Algorithm::Ring,
-        }
+        exacoll_core::registry::default_algorithm(op)
     }
 
     /// The wrapped configuration.
@@ -436,6 +436,19 @@ mod tests {
         });
         assert!(cfg.validate().is_err());
         assert!(Selector::new(cfg).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_auto_rules() {
+        let mut cfg = sample();
+        cfg.rules.push(SelectionRule {
+            op: OpSpec::Bcast,
+            min_size: 0,
+            max_size: None,
+            alg: AlgSpec::Auto,
+        });
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("resolved"), "got: {err}");
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod autotune;
 pub mod config;
 
-pub use autotune::{autotune, AutotuneOptions};
+pub use autotune::{autotune, merge_rules, AutotuneOptions};
 pub use config::{AlgSpec, SelectionConfig, SelectionRule, Selector};

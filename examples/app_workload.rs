@@ -18,14 +18,17 @@ use exacoll::tuning::{autotune, AutotuneOptions, Selector};
 fn main() {
     let machine = Machine::frontier(32, 1);
     println!("autotuning {} ...", machine.name);
-    let sel = Selector::new(autotune(
-        &machine,
-        &AutotuneOptions {
-            ops: CollectiveOp::EVALUATED.to_vec(),
-            sizes: (3..=22).step_by(2).map(|e| 1usize << e).collect(),
-            max_k: 16,
-        },
-    ))
+    let sel = Selector::new(
+        autotune(
+            &machine,
+            &AutotuneOptions {
+                ops: CollectiveOp::EVALUATED.to_vec(),
+                sizes: (3..=22).step_by(2).map(|e| 1usize << e).collect(),
+                max_k: 16,
+            },
+        )
+        .expect("sweep prices every probed point"),
+    )
     .expect("valid config");
 
     let mut t = Table::new(

@@ -25,7 +25,7 @@ fn main() {
         machine.name,
         opts.sizes.len()
     );
-    let cfg = autotune(&machine, &opts);
+    let cfg = autotune(&machine, &opts).expect("sweep prices every probed point");
 
     let path = format!("/tmp/exacoll_selection_{}.json", machine.name);
     std::fs::write(&path, cfg.to_json()).expect("config written");

@@ -25,6 +25,9 @@
 //! * [`replay`] — deterministic record/replay: self-contained artifacts of
 //!   per-rank event logs, a schedule-IR dataflow evaluator, and step-level
 //!   divergence detection.
+//! * [`select`] — the online algorithm-selection service: lock-free
+//!   snapshot lookups seeded by cost-model priors and refined by observed
+//!   timings, with persistent learned tables.
 //! * [`json`] — the dependency-free JSON layer the snapshots and exporters
 //!   serialize through.
 //!
@@ -58,5 +61,6 @@ pub use exacoll_net as net;
 pub use exacoll_obs as obs;
 pub use exacoll_osu as osu;
 pub use exacoll_replay as replay;
+pub use exacoll_select as select;
 pub use exacoll_sim as sim;
 pub use exacoll_tuning as tuning;

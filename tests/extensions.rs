@@ -104,14 +104,17 @@ fn barrier_makespan_covers_the_latest_entrant() {
 #[test]
 fn tuned_selector_improves_application_workloads() {
     let m = Machine::frontier(8, 1);
-    let sel = Selector::new(autotune(
-        &m,
-        &AutotuneOptions {
-            ops: CollectiveOp::EVALUATED.to_vec(),
-            sizes: vec![8, 1024, 65_536, 4 << 20],
-            max_k: 8,
-        },
-    ))
+    let sel = Selector::new(
+        autotune(
+            &m,
+            &AutotuneOptions {
+                ops: CollectiveOp::EVALUATED.to_vec(),
+                sizes: vec![8, 1024, 65_536, 4 << 20],
+                max_k: 8,
+            },
+        )
+        .unwrap(),
+    )
     .unwrap();
     for w in [
         Workload::cg_like(),

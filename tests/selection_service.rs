@@ -1,0 +1,161 @@
+//! End-to-end acceptance for the online selection service: cost-model
+//! priors seed the table, contradicting measurements flip the winner, the
+//! flipped table survives persist/reload byte-identically, the
+//! prior-vs-learned diff renders deterministically, and readers stay
+//! lock-free while the writer republishes.
+
+use exacoll::collectives::registry::default_algorithm;
+use exacoll::collectives::{Algorithm, CollectiveOp};
+use exacoll::select::{bucket_of_bytes, diff, Policy, SelectionService};
+use exacoll::sim::Machine;
+
+const OP: CollectiveOp = CollectiveOp::Allreduce;
+const P: usize = 8;
+const BYTES: usize = 4096;
+
+fn seeded() -> SelectionService {
+    let m = Machine::frontier(P, 1);
+    let svc = SelectionService::new(Policy::default());
+    svc.seed_point(&m, OP, BYTES, 8).expect("priors price");
+    svc.publish();
+    svc
+}
+
+/// A candidate in the bucket other than `not`.
+fn rival_of(svc: &SelectionService, not: Algorithm) -> Algorithm {
+    let mut rival = None;
+    svc.for_each_bucket(|op, p, bucket, cells| {
+        if op == OP && p == P && bucket == bucket_of_bytes(BYTES) {
+            rival = cells.iter().map(|c| c.alg).find(|&a| a != not);
+        }
+    });
+    rival.expect("allreduce has several candidates at p=8")
+}
+
+#[test]
+fn contradicting_timings_flip_the_selected_algorithm() {
+    let svc = seeded();
+    let prior_pick = svc.lookup(OP, P, BYTES).expect("prior winner published");
+    let rival = rival_of(&svc, prior_pick);
+
+    // Inject observations that contradict the model: the rival measures
+    // far faster than anything the model predicted, the model's pick far
+    // slower. The winner must flip for this (op, p, bucket) only.
+    for _ in 0..40 {
+        svc.observe(OP, P, BYTES, rival, 50.0);
+        svc.observe(OP, P, BYTES, prior_pick, 5e9);
+    }
+    svc.publish();
+    assert_eq!(svc.lookup(OP, P, BYTES), Some(rival), "winner did not flip");
+    // A different size bucket is untouched (never seeded -> still a miss).
+    assert_eq!(svc.lookup(OP, P, BYTES * 1024), None);
+    // And the fallback path still answers with the MPICH-style default.
+    assert_eq!(
+        svc.select(CollectiveOp::Gather, 999, 64),
+        default_algorithm(CollectiveOp::Gather)
+    );
+}
+
+#[test]
+fn flipped_table_round_trips_byte_identically() {
+    let svc = seeded();
+    let prior_pick = svc.lookup(OP, P, BYTES).unwrap();
+    let rival = rival_of(&svc, prior_pick);
+    for _ in 0..40 {
+        svc.observe(OP, P, BYTES, rival, 50.0);
+        svc.observe(OP, P, BYTES, prior_pick, 5e9);
+    }
+    svc.publish();
+
+    let dir = std::env::temp_dir().join(format!("exacoll-select-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("selection_flipped.json");
+    let path_s = path.to_str().unwrap();
+
+    svc.save(path_s).unwrap();
+    let first = std::fs::read(&path).unwrap();
+    let reloaded = SelectionService::load(path_s).unwrap();
+
+    // The reload preserves the flip...
+    assert_eq!(reloaded.lookup(OP, P, BYTES), Some(rival));
+    // ...and re-saving reproduces the file byte for byte.
+    let path2 = dir.join("selection_resaved.json");
+    reloaded.save(path2.to_str().unwrap()).unwrap();
+    assert_eq!(
+        std::fs::read(&path2).unwrap(),
+        first,
+        "persisted bytes drifted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prior_vs_learned_diff_renders_deterministically() {
+    let svc = seeded();
+    let prior_pick = svc.lookup(OP, P, BYTES).unwrap();
+    let rival = rival_of(&svc, prior_pick);
+    // Before any contradiction, prior and learned agree: empty diff.
+    assert!(svc.diff().is_empty());
+
+    for _ in 0..40 {
+        svc.observe(OP, P, BYTES, rival, 50.0);
+        svc.observe(OP, P, BYTES, prior_pick, 5e9);
+    }
+    svc.publish();
+
+    let rows = svc.diff();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].prior, prior_pick);
+    assert_eq!(rows[0].learned, rival);
+    assert_eq!(rows[0].samples, 80);
+
+    let rendered = diff::render(&rows);
+    // Deterministic: same service renders identically, and so does a
+    // persist/reload copy.
+    assert_eq!(rendered, diff::render(&svc.diff()));
+    let text = svc.to_json().pretty();
+    let reloaded = SelectionService::from_json(&exacoll::json::parse(&text).unwrap()).unwrap();
+    assert_eq!(diff::render(&reloaded.diff()), rendered);
+    assert!(rendered.contains("allreduce"), "diff: {rendered}");
+}
+
+#[test]
+fn lookups_stay_consistent_while_the_writer_republishes() {
+    let svc = seeded();
+    let candidates: Vec<Algorithm> = {
+        let mut all = Vec::new();
+        svc.for_each_bucket(|op, p, bucket, cells| {
+            if op == OP && p == P && bucket == bucket_of_bytes(BYTES) {
+                all = cells.iter().map(|c| c.alg).collect();
+            }
+        });
+        all
+    };
+    assert!(candidates.len() >= 2);
+
+    std::thread::scope(|scope| {
+        // Readers hammer the hot path across several worlds while the
+        // writer ingests and republishes continuously. Every answer must
+        // be either a miss (unseeded key) or a real candidate.
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for i in 0..200_000usize {
+                    if let Some(alg) = svc.lookup(OP, P, BYTES) {
+                        assert!(candidates.contains(&alg), "published non-candidate {alg}");
+                    }
+                    // Unseeded keys must miss cheaply, never crash.
+                    assert_eq!(svc.lookup(OP, P + 1 + (i % 7), BYTES), None);
+                }
+            });
+        }
+        scope.spawn(|| {
+            for round in 0..400usize {
+                let alg = candidates[round % candidates.len()];
+                svc.observe(OP, P, BYTES, alg, 1000.0 + round as f64);
+                svc.publish();
+            }
+        });
+    });
+    // The writer's final publish is visible after the scope joins.
+    assert!(svc.lookup(OP, P, BYTES).is_some());
+}

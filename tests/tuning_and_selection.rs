@@ -4,7 +4,8 @@
 use exacoll::collectives::{Algorithm, CollectiveOp};
 use exacoll::osu::{latency, VendorPolicy};
 use exacoll::sim::Machine;
-use exacoll::tuning::{autotune, AutotuneOptions, SelectionConfig, Selector};
+use exacoll::tuning::{autotune, merge_rules, AutotuneOptions, SelectionConfig, Selector};
+use proptest::prelude::*;
 
 fn opts() -> AutotuneOptions {
     AutotuneOptions {
@@ -17,7 +18,7 @@ fn opts() -> AutotuneOptions {
 #[test]
 fn full_roundtrip_through_disk() {
     let m = Machine::frontier(8, 1);
-    let cfg = autotune(&m, &opts());
+    let cfg = autotune(&m, &opts()).unwrap();
     let dir = std::env::temp_dir().join("exacoll_test_cfg.json");
     std::fs::write(&dir, cfg.to_json()).unwrap();
     let loaded = SelectionConfig::from_json(&std::fs::read_to_string(&dir).unwrap()).unwrap();
@@ -28,7 +29,7 @@ fn full_roundtrip_through_disk() {
 #[test]
 fn tuned_selection_dominates_fixed_defaults() {
     let m = Machine::frontier(8, 1);
-    let sel = Selector::new(autotune(&m, &opts())).unwrap();
+    let sel = Selector::new(autotune(&m, &opts()).unwrap()).unwrap();
     for op in CollectiveOp::EVALUATED {
         for &n in &[8usize, 512, 16 * 1024, 512 * 1024] {
             let tuned = sel.select(op, n);
@@ -58,7 +59,7 @@ fn tuned_selection_beats_vendor_somewhere_substantially() {
     // The paper's headline: 1-4.5x over the vendor. On a small partition we
     // still expect at least one probed point with >= 1.3x.
     let m = Machine::frontier(8, 1);
-    let sel = Selector::new(autotune(&m, &opts())).unwrap();
+    let sel = Selector::new(autotune(&m, &opts()).unwrap()).unwrap();
     let mut best_ratio: f64 = 0.0;
     for op in CollectiveOp::EVALUATED {
         for &n in &[8usize, 512, 16 * 1024, 512 * 1024] {
@@ -78,7 +79,7 @@ fn configs_do_not_transfer_blindly_across_rank_counts() {
     // A config tuned for p = 8 may contain k-ring rules invalid at a
     // smaller rank count; validation must catch the mismatch when reused.
     let m = Machine::frontier(8, 1);
-    let mut cfg = autotune(&m, &opts());
+    let mut cfg = autotune(&m, &opts()).unwrap();
     cfg.rules.push(exacoll::tuning::SelectionRule {
         op: CollectiveOp::Allgather.into(),
         min_size: 0,
@@ -90,20 +91,83 @@ fn configs_do_not_transfer_blindly_across_rank_counts() {
     assert!(cfg.validate().is_err(), "k-ring(8) cannot run on p = 4");
 }
 
+/// Strategy: a plausible per-size winner sequence — strictly increasing
+/// probed sizes, each assigned one of a small algorithm pool.
+fn arb_winners() -> impl Strategy<Value = Vec<(usize, Algorithm)>> {
+    const POOL: [Algorithm; 4] = [
+        Algorithm::KnomialTree { k: 2 },
+        Algorithm::KnomialTree { k: 8 },
+        Algorithm::Ring,
+        Algorithm::RecursiveMultiplying { k: 4 },
+    ];
+    proptest::collection::vec((0usize..30, 0usize..POOL.len()), 1..12).prop_map(|steps| {
+        // Strictly increasing sizes: cumulative sum of (1 + step).
+        let mut size = 0usize;
+        steps
+            .into_iter()
+            .map(|(step, alg_idx)| {
+                size += 1 + step * 731; // uneven gaps, spans 0..~25k
+                (size, POOL[alg_idx])
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged rule tables are total: they partition the whole size axis
+    /// with no gaps and no overlaps, and every probed size selects
+    /// exactly the winner that probe reported.
+    #[test]
+    fn merge_rules_tables_are_total(winners in arb_winners()) {
+        let op = CollectiveOp::Reduce;
+        let rules = merge_rules(op, &winners);
+        prop_assert!(!rules.is_empty());
+
+        // Contiguous partition of [0, inf): starts at zero, each rule
+        // begins where its predecessor ended, ends open.
+        prop_assert_eq!(rules[0].min_size, 0);
+        prop_assert!(rules[rules.len() - 1].max_size.is_none());
+        for pair in rules.windows(2) {
+            prop_assert_eq!(pair[0].max_size, Some(pair[1].min_size));
+            prop_assert!(pair[0].max_size.unwrap() > pair[0].min_size);
+        }
+
+        // Exactly one rule matches any probed size (no gaps, no
+        // overlaps), and it carries that probe's winner.
+        for &(n, alg) in &winners {
+            let hits: Vec<_> = rules.iter().filter(|r| r.matches(op, n)).collect();
+            prop_assert_eq!(hits.len(), 1, "size {} matched {} rules", n, hits.len());
+            let hit: Algorithm = hits[0].alg.into();
+            prop_assert_eq!(hit, alg, "size {}", n);
+        }
+        // Also total *between* and *beyond* the probes.
+        let beyond = winners.last().unwrap().0 * 2 + 1;
+        for n in (0..=beyond).step_by(97) {
+            prop_assert_eq!(rules.iter().filter(|r| r.matches(op, n)).count(), 1,
+                "size {} not covered exactly once", n);
+        }
+    }
+}
+
 #[test]
 fn autotuned_radix_matches_port_count_for_allreduce() {
     // The paper's central Frontier finding, reproduced by the tuner: the
     // chosen recursive-multiplying radix for mid-size allreduce is the NIC
     // port count (4) or a fold-equivalent neighbor.
     let m = Machine::frontier(16, 1);
-    let sel = Selector::new(autotune(
-        &m,
-        &AutotuneOptions {
-            ops: vec![CollectiveOp::Allreduce],
-            sizes: vec![1024, 65_536],
-            max_k: 8,
-        },
-    ))
+    let sel = Selector::new(
+        autotune(
+            &m,
+            &AutotuneOptions {
+                ops: vec![CollectiveOp::Allreduce],
+                sizes: vec![1024, 65_536],
+                max_k: 8,
+            },
+        )
+        .unwrap(),
+    )
     .unwrap();
     let alg = sel.select(CollectiveOp::Allreduce, 1024);
     match alg {
